@@ -1,0 +1,69 @@
+// Ablation of the partitioning strategy (§5.1's motivation): trains the same
+// model over Libra vertex-cut vs random / hash / range edge partitions and
+// reports halo volume, epoch time and accuracy — quantifying how much of
+// DistGNN's scalability is bought by the partitioner.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/distributed_trainer.hpp"
+#include "partition/libra.hpp"
+#include "partition/partition_setup.hpp"
+#include "partition/partition_stats.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace distgnn;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const int epochs = static_cast<int>(opts.get_int("epochs", 30));
+  const int ranks = static_cast<int>(opts.get_int("ranks", 4));
+
+  bench::print_header("Partitioner ablation: Libra vertex-cut vs 1D baselines",
+                      "§5.1 (vertex-cut minimizes communication on power-law graphs)");
+
+  LearnableSbmParams p;
+  p.num_vertices = opts.get_int("vertices", 8192);
+  p.num_classes = 8;
+  p.avg_degree = 16;
+  p.feature_dim = 32;
+  p.seed = 31;
+  const Dataset ds = make_learnable_sbm(p);
+
+  TrainConfig cfg;
+  cfg.num_layers = 2;
+  cfg.hidden_dim = 32;
+  cfg.lr = 0.1;
+  cfg.epochs = epochs;
+  cfg.algorithm = Algorithm::kCd0;  // fully synchronized: comm volume matters most
+
+  const struct {
+    const char* label;
+    PartitionStrategy strategy;
+  } strategies[] = {
+      {"libra (vertex-cut)", PartitionStrategy::kLibra},
+      {"random edges", PartitionStrategy::kRandom},
+      {"source hash", PartitionStrategy::kSourceHash},
+      {"source range", PartitionStrategy::kRange},
+  };
+
+  TextTable table({"partitioner", "replication", "edge balance", "halo MB/epoch",
+                   "epoch (ms)", "test acc (%)"});
+  for (const auto& s : strategies) {
+    const EdgePartition ep = partition_edges(ds.graph.coo(), ranks, s.strategy, 1);
+    const PartitionQuality q = evaluate_partition(ds.graph.coo(), ep);
+    const PartitionedGraph pg = build_partitions(ds.graph.coo(), ep, 1);
+    const DistTrainResult result = train_distributed(ds, pg, cfg);
+    table.add_row({s.label, TextTable::fmt(q.replication_factor, 2),
+                   TextTable::fmt(q.edge_balance, 2),
+                   TextTable::fmt(static_cast<double>(result.total_bytes_sent) / 1e6 / epochs, 3),
+                   TextTable::fmt(result.mean_epoch_seconds(2) * 1e3, 2),
+                   TextTable::fmt(100 * result.test_accuracy, 2)});
+  }
+  std::printf("%s", table.render("cd-0 training across partitioners (" +
+                                 std::to_string(ranks) + " sockets)").c_str());
+  std::printf("\nExpected: Libra's lower replication factor translates directly into less\n"
+              "halo traffic per epoch at equal accuracy; range partitioning can win on\n"
+              "replication but loses edge balance (straggler ranks).\n");
+  return 0;
+}

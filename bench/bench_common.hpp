@@ -1,0 +1,38 @@
+// Shared helpers for the benchmark harness: scaled dataset construction and
+// headline printing. Every bench accepts --scale=<f> (dataset size
+// multiplier) and --epochs=<n> where applicable, so the same binaries can be
+// run larger on beefier machines.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "graph/datasets.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace distgnn::bench {
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Default bench scale keeps every binary under ~a minute on a laptop-class
+/// machine; the paper-scale numbers are reproduced in shape, not magnitude.
+inline double default_scale(const Options& opts, double fallback = 0.125) {
+  return opts.get_double("scale", fallback);
+}
+
+inline Dataset load(const std::string& name, double scale) {
+  std::printf("[dataset] %s at scale %.4f ... ", name.c_str(), scale);
+  std::fflush(stdout);
+  Dataset ds = make_dataset(name, scale);
+  std::printf("|V|=%lld |E|=%lld d=%d classes=%d\n", static_cast<long long>(ds.num_vertices()),
+              static_cast<long long>(ds.num_edges()), ds.feature_dim(), ds.num_classes);
+  return ds;
+}
+
+}  // namespace distgnn::bench

@@ -1,0 +1,78 @@
+// Figure 5: per-epoch time and speedup of the three distributed algorithms
+// (cd-0, cd-5, 0c) with increasing socket count, relative to the optimized
+// single-socket run. The reproduction target is the ordering
+// 0c >= cd-5 >= cd-0 and speedup growth with sockets, modulated by each
+// dataset's replication factor.
+#include <omp.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/distributed_trainer.hpp"
+#include "core/single_socket_trainer.hpp"
+#include "partition/libra.hpp"
+#include "partition/partition_setup.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace distgnn;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const double scale = bench::default_scale(opts, 0.25);
+  const int epochs = static_cast<int>(opts.get_int("epochs", 12));
+  const int max_ranks = static_cast<int>(opts.get_int("max-ranks", 8));
+  // Each simulated socket gets a fixed slice of the machine so that adding
+  // "sockets" adds hardware, as in the paper's cluster. The single-socket
+  // reference runs on the same slice.
+  const int threads_per_socket = static_cast<int>(opts.get_int("threads-per-socket", 2));
+
+  bench::print_header("Distributed scaling: per-epoch time and speedup of cd-0 / cd-5 / 0c",
+                      "Figure 5 (socket-count sweep per dataset)");
+
+  TrainConfig base_cfg;
+  base_cfg.num_layers = 2;
+  base_cfg.hidden_dim = 32;
+  base_cfg.epochs = epochs;
+  base_cfg.delay = 5;
+  base_cfg.threads_per_rank = threads_per_socket;
+
+  for (const char* name : {"ogbn-products-sim", "proteins-sim"}) {
+    const Dataset ds = bench::load(name, scale);
+
+    // Optimized single-socket reference, pinned to one socket's thread slice.
+    omp_set_num_threads(threads_per_socket);
+    SingleSocketTrainer single(ds, base_cfg);
+    single.train_epoch();  // warm-up
+    double single_epoch = 0;
+    for (int e = 0; e < 3; ++e) single_epoch += single.train_epoch().total_seconds;
+    single_epoch /= 3;
+    omp_set_num_threads(omp_get_num_procs());
+
+    TextTable table({"sockets", "cd-0 (s)", "cd-5 (s)", "0c (s)", "cd-0 speedup", "cd-5 speedup",
+                     "0c speedup"});
+    for (int ranks = 2; ranks <= max_ranks; ranks *= 2) {
+      const PartitionedGraph pg =
+          build_partitions(ds.graph.coo(), partition_libra(ds.graph.coo(), ranks), 1);
+      std::vector<std::string> row{TextTable::fmt_int(ranks)};
+      std::vector<double> times;
+      for (const Algorithm alg : {Algorithm::kCd0, Algorithm::kCdR, Algorithm::k0c}) {
+        TrainConfig cfg = base_cfg;
+        cfg.algorithm = alg;
+        const DistTrainResult result = train_distributed(ds, pg, cfg);
+        // Average skips warm-up epochs (the paper uses epochs 10-20 for cd-r).
+        times.push_back(result.mean_epoch_seconds(std::min(epochs - 2, 2 * cfg.delay)));
+      }
+      for (const double t : times) row.push_back(TextTable::fmt(t, 4));
+      for (const double t : times) row.push_back(TextTable::fmt(single_epoch / t, 2) + "x");
+      table.add_row(row);
+    }
+    std::printf("%s", table.render(std::string(name) + "  (single-socket epoch: " +
+                                   TextTable::fmt(single_epoch, 4) + " s)").c_str());
+  }
+  std::printf("\nPaper reference: 0c > cd-5 > cd-0 in speed everywhere; e.g. Proteins at 64\n"
+              "sockets reaches 37.9x / 59.8x / 75.4x; Reddit scales sub-linearly because of\n"
+              "its replication factor. Simulated ranks share one machine, so speedups here\n"
+              "are bounded by physical cores -- the ordering and trends are the target.\n");
+  return 0;
+}

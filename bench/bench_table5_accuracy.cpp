@@ -1,0 +1,75 @@
+// Table 5: test accuracy of the distributed algorithms (cd-0, cd-5, 0c)
+// across socket counts, with the paper's learning-rate/epoch grid adapted to
+// the learnable synthetic dataset. The reproduction target: every algorithm
+// and every socket count stays within ~1-2% of the single-socket accuracy
+// (the paper reports within 1%).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/distributed_trainer.hpp"
+#include "core/single_socket_trainer.hpp"
+#include "partition/libra.hpp"
+#include "partition/partition_setup.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace distgnn;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const int epochs = static_cast<int>(opts.get_int("epochs", 60));
+  const vid_t n = opts.get_int("vertices", 4096);
+
+  bench::print_header("Distributed test accuracy across socket counts and algorithms",
+                      "Table 5 (accuracy within ~1% of single socket; wd=5e-4)");
+
+  LearnableSbmParams p;
+  p.num_vertices = n;
+  p.num_classes = 8;
+  p.avg_degree = 16;
+  p.feature_dim = 32;
+  p.feature_noise = 1.2f;  // hard enough that the graph structure matters
+  p.seed = 17;
+  std::printf("[dataset] learnable SBM: |V|=%lld classes=%d deg=%.0f noise=%.1f\n",
+              static_cast<long long>(p.num_vertices), p.num_classes, p.avg_degree,
+              static_cast<double>(p.feature_noise));
+  const Dataset ds = make_learnable_sbm(p);
+
+  TrainConfig cfg;
+  cfg.num_layers = 2;
+  cfg.hidden_dim = 32;
+  cfg.lr = 0.1;
+  cfg.weight_decay = 5e-4;
+  cfg.epochs = epochs;
+  cfg.delay = 5;
+
+  // Single-socket reference row.
+  SingleSocketTrainer single(ds, cfg);
+  for (int e = 0; e < epochs; ++e) single.train_epoch();
+  const double single_acc = single.evaluate(ds.test_mask);
+
+  TextTable table({"sockets", "cd-0 acc (%)", "cd-5 acc (%)", "0c acc (%)", "lr", "#epochs"});
+  table.add_row({"1", TextTable::fmt(100 * single_acc, 2), TextTable::fmt(100 * single_acc, 2),
+                 TextTable::fmt(100 * single_acc, 2), TextTable::fmt(cfg.lr, 3),
+                 TextTable::fmt_int(epochs)});
+
+  for (const int ranks : {2, 4, 8}) {
+    const PartitionedGraph pg =
+        build_partitions(ds.graph.coo(), partition_libra(ds.graph.coo(), ranks), 1);
+    std::vector<std::string> row{TextTable::fmt_int(ranks)};
+    for (const Algorithm alg : {Algorithm::kCd0, Algorithm::kCdR, Algorithm::k0c}) {
+      TrainConfig c = cfg;
+      c.algorithm = alg;
+      const DistTrainResult result = train_distributed(ds, pg, c);
+      row.push_back(TextTable::fmt(100 * result.test_accuracy, 2));
+    }
+    row.push_back(TextTable::fmt(cfg.lr, 3));
+    row.push_back(TextTable::fmt_int(epochs));
+    table.add_row(row);
+  }
+  std::printf("%s", table.render("Test accuracy (%)").c_str());
+  std::printf("\nPaper reference (Reddit / OGBN-Products): all algorithms within 1%% of the\n"
+              "93.40%% / 77.63%% single-socket accuracy; cd-5 and 0c occasionally *beat*\n"
+              "single socket (clustering effect of partitioning).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table 9: measured training time per epoch, Dist-DGL-style mini-batch
+// sampling vs DistGNN full-batch cd-5, on the products-like dataset at 1 and
+// 4 sockets. The paper's point: despite doing 4-13x more aggregation work,
+// full-batch DistGNN posts comparable or better epoch times at low socket
+// counts and remains competitive at 16.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/distributed_trainer.hpp"
+#include "core/single_socket_trainer.hpp"
+#include "partition/libra.hpp"
+#include "partition/partition_setup.hpp"
+#include "sampling/distributed_sampled_trainer.hpp"
+#include "sampling/sampled_trainer.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace distgnn;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const double scale = bench::default_scale(opts, 0.0625);
+  const int epochs = static_cast<int>(opts.get_int("epochs", 6));
+  const int ranks = static_cast<int>(opts.get_int("ranks", 4));
+
+  bench::print_header("Epoch time: Dist-DGL mini-batch vs DistGNN full-batch (cd-5)",
+                      "Table 9 (OGBN-Products; same model shape on both sides)");
+
+  const Dataset ds = bench::load("ogbn-products-sim", scale);
+
+  // Mini-batch trainer (fan-outs 15/10/5, batch 2000 scaled down with data).
+  SampledTrainConfig scfg;
+  scfg.fanouts = {5, 10, 15};
+  scfg.batch_size = std::max<vid_t>(128, ds.num_vertices() / 64);
+  scfg.hidden_dim = 64;
+  SampledSageTrainer mini(ds, scfg);
+  mini.train_epoch();  // warm-up
+  double mini_seconds = 0;
+  for (int e = 0; e < epochs; ++e) mini_seconds += mini.train_epoch().seconds;
+  mini_seconds /= epochs;
+
+  // Full-batch single socket.
+  TrainConfig cfg;
+  cfg.num_layers = 3;
+  cfg.hidden_dim = 64;
+  cfg.delay = 5;
+  cfg.epochs = epochs + 2;
+  SingleSocketTrainer full(ds, cfg);
+  full.train_epoch();
+  double full_seconds = 0;
+  for (int e = 0; e < epochs; ++e) full_seconds += full.train_epoch().total_seconds;
+  full_seconds /= epochs;
+
+  // Distributed cd-5 at `ranks` sockets.
+  cfg.algorithm = Algorithm::kCdR;
+  cfg.threads_per_rank = 0;  // divide the machine across ranks
+  const PartitionedGraph pg =
+      build_partitions(ds.graph.coo(), partition_libra(ds.graph.coo(), ranks), 1);
+  const DistTrainResult dist = train_distributed(ds, pg, cfg);
+  const double dist_seconds = dist.mean_epoch_seconds(2);
+
+  // Distributed mini-batch (Dist-DGL style) at `ranks` sockets.
+  const DistSampledResult dist_mini =
+      train_distributed_sampled(ds, scfg, ranks, epochs);
+
+  TextTable table({"sockets", "Dist-DGL mini-batch (s)", "DistGNN cd-5 (s)"});
+  table.add_row({"1", TextTable::fmt(mini_seconds, 4), TextTable::fmt(full_seconds, 4)});
+  table.add_row({TextTable::fmt_int(ranks), TextTable::fmt(dist_mini.mean_epoch_seconds, 4),
+                 TextTable::fmt(dist_seconds, 4)});
+  std::printf("%s", table.render("Training time per epoch").c_str());
+  std::printf("\nPaper reference: Dist-DGL 20 s vs DistGNN 11 s on 1 socket; 1.5 s vs 1.9 s\n"
+              "on 16 sockets -- full batch comparable despite ~4-13x more aggregation work.\n"
+              "(The simulated multi-rank row shares one machine's cores, so compare the\n"
+              "single-socket row for the head-to-head.)\n");
+  return 0;
+}

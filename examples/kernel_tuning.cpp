@@ -1,0 +1,56 @@
+// Kernel tuning: sweep the cache-block count of the optimized Aggregation
+// Primitive on a dataset and report the measured sweet spot next to the
+// auto_num_blocks() heuristic — the workflow behind Table 3 / Figure 3.
+//
+//   ./kernel_tuning [--dataset=reddit-sim] [--scale=0.25] [--reps=5]
+#include <chrono>
+#include <cstdio>
+
+#include "graph/datasets.hpp"
+#include "kernels/aggregate.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace distgnn;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::string name = opts.get("dataset", "reddit-sim");
+  const double scale = opts.get_double("scale", 0.25);
+  const int reps = static_cast<int>(opts.get_int("reps", 5));
+
+  const Dataset ds = make_dataset(name, scale);
+  const CsrMatrix& csr = ds.graph.in_csr();
+  const auto n = static_cast<std::size_t>(ds.num_vertices());
+  const auto d = static_cast<std::size_t>(ds.feature_dim());
+  std::printf("dataset %s: |V|=%zu |E|=%lld d=%zu\n", name.c_str(), n,
+              static_cast<long long>(ds.num_edges()), d);
+
+  TextTable table({"nB", "AP time (ms)", "speedup vs nB=1"});
+  double best = 1e30, nb1 = 0;
+  int best_nb = 1;
+  DenseMatrix out(n, d, 0);
+  for (const int nb : {1, 2, 4, 8, 16, 32, 64}) {
+    const BlockedCsr blocks(csr, nb);
+    ApConfig cfg;
+    aggregate_prepartitioned(blocks, ds.features.cview(), {}, out.view(), cfg);  // warm-up
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      out.zero();
+      aggregate_prepartitioned(blocks, ds.features.cview(), {}, out.view(), cfg);
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count() /
+        reps;
+    if (nb == 1) nb1 = ms;
+    if (ms < best) {
+      best = ms;
+      best_nb = nb;
+    }
+    table.add_row({TextTable::fmt_int(nb), TextTable::fmt(ms, 2), TextTable::fmt(nb1 / ms, 2) + "x"});
+  }
+  std::printf("%s", table.render("Block-count sweep (copylhs/sum)").c_str());
+  std::printf("measured best nB = %d; auto_num_blocks() heuristic = %d\n", best_nb,
+              auto_num_blocks(ds.num_vertices(), d));
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: generate a learnable graph, train full-batch GraphSAGE on one
+// socket with the optimized Aggregation Primitive, and report accuracy.
+//
+//   ./quickstart [--vertices=4096] [--epochs=60] [--lr=0.1]
+#include <cstdio>
+
+#include "core/single_socket_trainer.hpp"
+#include "graph/datasets.hpp"
+#include "nn/serialize.hpp"
+#include "util/options.hpp"
+
+using namespace distgnn;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+
+  // 1. A synthetic vertex-classification dataset with real signal: planted
+  //    communities whose noisy feature centroids encode the labels.
+  LearnableSbmParams params;
+  params.num_vertices = opts.get_int("vertices", 4096);
+  params.num_classes = 8;
+  params.avg_degree = 16;
+  params.feature_dim = 32;
+  params.feature_noise = 1.0f;
+  const Dataset dataset = make_learnable_sbm(params);
+  std::printf("dataset: |V|=%lld |E|=%lld features=%d classes=%d\n",
+              static_cast<long long>(dataset.num_vertices()),
+              static_cast<long long>(dataset.num_edges()), dataset.feature_dim(),
+              dataset.num_classes);
+
+  // 2. GraphSAGE with the paper's GCN aggregation operator. The trainer
+  //    builds the cache-blocked CSR once and reuses it every epoch.
+  TrainConfig config;
+  config.num_layers = 2;
+  config.hidden_dim = 32;
+  config.lr = opts.get_double("lr", 0.1);
+  config.weight_decay = 5e-4;
+  SingleSocketTrainer trainer(dataset, config);
+  std::printf("aggregation primitive: optimized, %d cache blocks\n",
+              trainer.effective_num_blocks());
+
+  // 3. Train and watch the loss fall.
+  const int epochs = static_cast<int>(opts.get_int("epochs", 60));
+  for (int e = 0; e < epochs; ++e) {
+    const EpochStats stats = trainer.train_epoch();
+    if (e % 10 == 0 || e == epochs - 1)
+      std::printf("epoch %3d  loss %.4f  (%.1f ms: %.1f ms aggregation, %.1f ms MLP)\n", e,
+                  stats.loss, stats.total_seconds * 1e3, stats.ap_seconds * 1e3,
+                  stats.mlp_seconds * 1e3);
+  }
+
+  // 4. Evaluate.
+  std::printf("train accuracy: %.2f%%\n", 100 * trainer.evaluate(dataset.train_mask));
+  const double test_acc = trainer.evaluate(dataset.test_mask);
+  std::printf("test accuracy:  %.2f%%\n", 100 * test_acc);
+
+  // 5. Checkpoint the trained model and prove the round trip: a freshly
+  //    initialized replica restored from disk scores identically.
+  const std::string ckpt = opts.get("checkpoint", "/tmp/distgnn_quickstart.ckpt");
+  auto trained_params = trainer.model().params();
+  save_checkpoint(trained_params, ckpt);
+  SingleSocketTrainer restored(dataset, config);
+  auto restored_params = restored.model().params();
+  load_checkpoint(restored_params, ckpt);
+  std::printf("restored-from-%s accuracy: %.2f%% (delta %.4f)\n", ckpt.c_str(),
+              100 * restored.evaluate(dataset.test_mask),
+              restored.evaluate(dataset.test_mask) - test_acc);
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "cachesim/lru_cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace distgnn {
+
+LruCache::LruCache(std::uint64_t capacity_bytes, std::uint64_t object_bytes)
+    : capacity_objects_(std::max<std::uint64_t>(1, capacity_bytes / std::max<std::uint64_t>(1, object_bytes))),
+      object_bytes_(object_bytes) {
+  nodes_.resize(capacity_objects_);
+  free_list_.reserve(capacity_objects_);
+  for (std::uint64_t i = 0; i < capacity_objects_; ++i)
+    free_list_.push_back(static_cast<int>(capacity_objects_ - 1 - i));
+  index_.reserve(2 * capacity_objects_);
+}
+
+CacheStats& LruCache::stats_mut(int space) {
+  if (space < 0) throw std::out_of_range("LruCache: negative space id");
+  if (static_cast<std::size_t>(space) >= per_space_.size()) per_space_.resize(space + 1);
+  return per_space_[static_cast<std::size_t>(space)];
+}
+
+const CacheStats& LruCache::stats(int space) const {
+  static const CacheStats empty{};
+  if (space < 0 || static_cast<std::size_t>(space) >= per_space_.size()) return empty;
+  return per_space_[static_cast<std::size_t>(space)];
+}
+
+CacheStats LruCache::combined_stats() const {
+  CacheStats out;
+  for (const auto& s : per_space_) {
+    out.accesses += s.accesses;
+    out.misses += s.misses;
+    out.bytes_read += s.bytes_read;
+    out.bytes_written += s.bytes_written;
+  }
+  return out;
+}
+
+void LruCache::unlink(int idx) {
+  Node& n = nodes_[static_cast<std::size_t>(idx)];
+  if (n.prev >= 0) nodes_[static_cast<std::size_t>(n.prev)].next = n.next;
+  else head_ = n.next;
+  if (n.next >= 0) nodes_[static_cast<std::size_t>(n.next)].prev = n.prev;
+  else tail_ = n.prev;
+  n.prev = n.next = -1;
+}
+
+void LruCache::push_front(int idx) {
+  Node& n = nodes_[static_cast<std::size_t>(idx)];
+  n.prev = -1;
+  n.next = head_;
+  if (head_ >= 0) nodes_[static_cast<std::size_t>(head_)].prev = idx;
+  head_ = idx;
+  if (tail_ < 0) tail_ = idx;
+}
+
+void LruCache::evict_lru() {
+  const int victim = tail_;
+  Node& n = nodes_[static_cast<std::size_t>(victim)];
+  if (n.dirty) stats_mut(space_of(n.tag)).bytes_written += object_bytes_;
+  index_.erase(n.tag);
+  unlink(victim);
+  n.dirty = false;
+  free_list_.push_back(victim);
+}
+
+bool LruCache::access(int space, std::uint64_t key, bool is_write) {
+  CacheStats& s = stats_mut(space);
+  ++s.accesses;
+  const std::uint64_t tag = make_tag(space, key);
+  const auto it = index_.find(tag);
+  if (it != index_.end()) {
+    const int idx = it->second;
+    unlink(idx);
+    push_front(idx);
+    if (is_write) nodes_[static_cast<std::size_t>(idx)].dirty = true;
+    return true;
+  }
+
+  ++s.misses;
+  s.bytes_read += object_bytes_;
+  if (free_list_.empty()) evict_lru();
+  const int idx = free_list_.back();
+  free_list_.pop_back();
+  Node& n = nodes_[static_cast<std::size_t>(idx)];
+  n.tag = tag;
+  n.dirty = is_write;
+  index_.emplace(tag, idx);
+  push_front(idx);
+  return false;
+}
+
+void LruCache::flush() {
+  while (head_ >= 0) {
+    const int idx = head_;
+    Node& n = nodes_[static_cast<std::size_t>(idx)];
+    if (n.dirty) stats_mut(space_of(n.tag)).bytes_written += object_bytes_;
+    index_.erase(n.tag);
+    unlink(idx);
+    n.dirty = false;
+    free_list_.push_back(idx);
+  }
+}
+
+void LruCache::reset() {
+  flush();
+  per_space_.clear();
+}
+
+}  // namespace distgnn

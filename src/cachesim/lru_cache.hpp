@@ -1,0 +1,87 @@
+// LRU cache model at feature-vector granularity.
+//
+// The paper's Table 3 and Figure 3 are measured with hardware memory-traffic
+// counters on a Xeon 8280. Offline we replay the aggregation kernel's access
+// stream through this model instead: each cached object is one feature
+// vector (d * sizeof(real_t) bytes), the capacity is the last-level cache
+// size, and evictions of dirty objects account for write-back traffic.
+// Reuse and read/write byte counts then reproduce the paper's curves, since
+// those are properties of the access stream rather than of the silicon.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace distgnn {
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bytes_read = 0;      // DRAM -> cache (miss fills)
+  std::uint64_t bytes_written = 0;   // cache -> DRAM (dirty evictions + flush)
+
+  std::uint64_t hits() const { return accesses - misses; }
+  double hit_rate() const { return accesses == 0 ? 0.0 : static_cast<double>(hits()) / static_cast<double>(accesses); }
+  /// Average number of times a fetched object is touched before eviction —
+  /// the "cache reuse" metric of Table 3.
+  double reuse() const { return misses == 0 ? 0.0 : static_cast<double>(accesses) / static_cast<double>(misses); }
+  std::uint64_t total_bytes() const { return bytes_read + bytes_written; }
+};
+
+/// Fully-associative LRU over fixed-size objects identified by a 64-bit key.
+/// Object space tags let callers keep separate statistics for fV and fO while
+/// sharing one capacity (they compete for the same cache in hardware).
+class LruCache {
+ public:
+  /// capacity_bytes: total modelled cache; object_bytes: size of each cached
+  /// object (one feature vector).
+  LruCache(std::uint64_t capacity_bytes, std::uint64_t object_bytes);
+
+  /// Touches object `key` in space `space`; is_write marks the object dirty.
+  /// Returns true on hit.
+  bool access(int space, std::uint64_t key, bool is_write);
+
+  /// Evicts everything, charging write-backs for dirty objects. Called at
+  /// the end of a kernel so pending dirty data is accounted.
+  void flush();
+
+  /// Drops all state and statistics.
+  void reset();
+
+  const CacheStats& stats(int space) const;
+  CacheStats combined_stats() const;
+
+  std::uint64_t capacity_objects() const { return capacity_objects_; }
+
+ private:
+  struct Node {
+    std::uint64_t tag = 0;   // (space << 56) | key
+    int prev = -1;
+    int next = -1;
+    bool dirty = false;
+  };
+
+  static std::uint64_t make_tag(int space, std::uint64_t key) {
+    return (static_cast<std::uint64_t>(space) << 56) | (key & 0x00ffffffffffffffULL);
+  }
+  static int space_of(std::uint64_t tag) { return static_cast<int>(tag >> 56); }
+
+  void unlink(int idx);
+  void push_front(int idx);
+  void evict_lru();
+  CacheStats& stats_mut(int space);
+
+  std::uint64_t capacity_objects_;
+  std::uint64_t object_bytes_;
+  std::vector<Node> nodes_;            // slab of capacity_objects_ nodes
+  std::vector<int> free_list_;
+  int head_ = -1;
+  int tail_ = -1;
+  std::unordered_map<std::uint64_t, int> index_;  // tag -> node slot
+  mutable std::vector<CacheStats> per_space_;
+};
+
+}  // namespace distgnn

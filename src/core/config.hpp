@@ -1,0 +1,62 @@
+// Training configuration shared by the single-socket and distributed
+// trainers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "comm/compression.hpp"
+#include "kernels/aggregate.hpp"
+
+namespace distgnn {
+
+/// The three distributed algorithms of §5.3.
+enum class Algorithm {
+  k0c,    // communication-free: local partial aggregates only (roofline)
+  kCd0,   // blocking sync of all split-vertices every epoch (exact)
+  kCdR,   // delayed remote partial aggregates with bin delay r (DRPA)
+};
+
+std::string to_string(Algorithm a);
+
+/// How stale remote data is used between bin firings in cd-r. The paper's
+/// Alg. 4 literally overwrites the bin's aggregates once every r epochs and
+/// otherwise leaves purely-local partials (kLiteral); keeping the last
+/// received remote contribution and reapplying it every epoch (kCache) is
+/// strictly fresher. Both are implemented; kCache is the default and the
+/// ablation bench compares them.
+enum class StalenessPolicy { kCache, kLiteral };
+
+enum class ApMode {
+  kBaseline,   // Alg. 1 (the "DGL 0.5.3" bar of Fig. 2)
+  kOptimized,  // Alg. 2 + Alg. 3 with auto block count
+};
+
+struct TrainConfig {
+  int num_layers = 3;       // paper: 2 for Reddit, 3 otherwise
+  int hidden_dim = 256;     // paper: 16 for Reddit, 256 otherwise
+  double lr = 0.01;
+  double weight_decay = 5e-4;
+  double momentum = 0.0;
+  int epochs = 100;
+  std::uint64_t seed = 1;
+
+  ApMode ap_mode = ApMode::kOptimized;
+  /// 0 = choose with auto_num_blocks().
+  int num_blocks = 0;
+
+  Algorithm algorithm = Algorithm::kCd0;
+  /// DRPA delay r; used when algorithm == kCdR (the paper runs r = 5).
+  int delay = 5;
+  StalenessPolicy staleness = StalenessPolicy::kCache;
+
+  /// OpenMP threads each rank may use; 0 = divide hardware threads evenly.
+  int threads_per_rank = 0;
+
+  /// Wire precision of the halo partial aggregates (§7 future work:
+  /// FP16/BF16 halve the communication volume at a small accuracy cost).
+  /// Gradient AllReduce always stays FP32.
+  HaloPrecision halo_precision = HaloPrecision::kFp32;
+};
+
+}  // namespace distgnn

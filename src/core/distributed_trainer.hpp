@@ -1,0 +1,57 @@
+// Distributed full-batch GraphSAGE training (§5): data-parallel model
+// replicas, one rank per partition, with the three aggregation-communication
+// algorithms of §5.3:
+//
+//   0c    — local partial aggregates only; no communication (the roofline).
+//   cd-0  — every epoch, every split tree synchronizes: leaves push partial
+//           aggregates to the root, the root reduces and pushes totals back.
+//           Matches the single-socket forward exactly.
+//   cd-r  — Delayed Remote Partial Aggregates (Alg. 4): split trees are
+//           binned; each epoch only bin (e mod r) communicates, and its data
+//           is consumed r epochs later, overlapping communication with
+//           computation at the cost of staleness.
+//
+// Model replicas start from identical seeds and stay synchronized through a
+// per-epoch gradient AllReduce (the paper's parameter sync).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/datasets.hpp"
+#include "partition/halo_plan.hpp"
+#include "partition/partition_setup.hpp"
+
+namespace distgnn {
+
+struct DistEpochRecord {
+  double loss = 0.0;            // global training loss
+  double total_seconds = 0.0;   // slowest rank
+  double local_agg_seconds = 0.0;   // LAT (forward pass), slowest rank
+  double remote_agg_seconds = 0.0;  // RAT incl. pre/post-processing, slowest rank
+};
+
+struct DistTrainResult {
+  std::vector<DistEpochRecord> epochs;
+  double train_accuracy = 0.0;
+  double val_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  std::uint64_t total_bytes_sent = 0;      // sum over ranks, whole run
+  std::uint64_t allreduce_bytes = 0;       // sum over ranks
+
+  /// Mean epoch time skipping the first `skip` epochs (the paper averages
+  /// epochs 10-20 for cd-r because of the communication delay of 5).
+  double mean_epoch_seconds(int skip = 0) const;
+  double mean_local_agg_seconds(int skip = 0) const;
+  double mean_remote_agg_seconds(int skip = 0) const;
+};
+
+/// Trains `config.epochs` epochs of GraphSAGE over the given partitioning,
+/// one simulated socket (rank thread) per partition. The final accuracies
+/// are measured with a fully synchronized (cd-0 style) forward pass so all
+/// algorithms are scored on the true full-neighbourhood semantics.
+DistTrainResult train_distributed(const Dataset& dataset, const PartitionedGraph& pg,
+                                  const TrainConfig& config);
+
+}  // namespace distgnn

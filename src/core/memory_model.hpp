@@ -1,0 +1,33 @@
+// Analytic peak-memory model behind Table 6 of the paper (§6.3 "Memory and
+// Communication Analysis"). Mirrors the paper's inventory: weight matrices,
+// input features, per-layer aggregation and MLP outputs kept for
+// backpropagation, plus the algorithm-specific communication state.
+#pragma once
+
+#include <cstdint>
+
+namespace distgnn {
+
+struct MemoryModelInput {
+  std::int64_t partition_vertices = 0;  // N
+  int feature_dim = 128;                // f
+  int hidden1 = 256;                    // h1
+  int hidden2 = 256;                    // h2
+  int num_classes = 172;                // l
+  std::int64_t split_vertices = 0;      // per partition
+  int delay = 5;                        // r, for cd-r
+};
+
+struct MemoryEstimate {
+  double model_gb = 0.0;       // weights + grads + optimizer state
+  double activations_gb = 0.0; // features + per-layer agg/MLP outputs + backward scratch
+  double comm_gb = 0.0;        // algorithm-specific buffers
+  double total_gb = 0.0;
+};
+
+/// Peak per-epoch memory for each algorithm of §5.3.
+MemoryEstimate estimate_memory_0c(const MemoryModelInput& in);
+MemoryEstimate estimate_memory_cd0(const MemoryModelInput& in);
+MemoryEstimate estimate_memory_cdr(const MemoryModelInput& in);
+
+}  // namespace distgnn

@@ -1,0 +1,57 @@
+// Full-batch GraphSAGE training on one socket (§4): the optimized AP drives
+// the forward/backward aggregation; phase timers separate AP time from the
+// MLP so the bench can print the Figure 2 "Total vs AP" comparison.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/sage_model.hpp"
+#include "graph/datasets.hpp"
+#include "kernels/aggregate.hpp"
+#include "nn/loss.hpp"
+#include "nn/metrics.hpp"
+#include "util/stopwatch.hpp"
+
+namespace distgnn {
+
+struct EpochStats {
+  double loss = 0.0;
+  double total_seconds = 0.0;
+  double ap_seconds = 0.0;   // forward + backward aggregation time
+  double mlp_seconds = 0.0;  // linear/activation/loss time
+};
+
+class SingleSocketTrainer {
+ public:
+  SingleSocketTrainer(const Dataset& dataset, TrainConfig config);
+
+  EpochStats train_epoch();
+
+  /// Forward-only accuracy with the current weights.
+  double evaluate(const std::vector<std::uint8_t>& mask);
+
+  SageModel& model() { return model_; }
+  int effective_num_blocks() const { return num_blocks_; }
+
+ private:
+  void forward();
+
+  const Dataset& dataset_;
+  TrainConfig config_;
+  SageModel model_;
+  SoftmaxCrossEntropy loss_;
+  Sgd optimizer_;
+  int num_blocks_ = 1;
+
+  BlockedCsr blocked_in_;    // optimized forward aggregation
+  CsrMatrix out_csr_;        // backward (transpose) aggregation
+  BlockedCsr blocked_out_;
+  DenseMatrix inv_norm_;     // n x 1, 1/(in_degree+1)
+
+  std::vector<DenseMatrix> acts_;  // acts_[0] = features; acts_[l+1] = layer l out
+  std::vector<DenseMatrix> aggs_;  // forward aggregates per layer
+  DenseMatrix d_upper_, dscaled_, dH_;
+};
+
+}  // namespace distgnn

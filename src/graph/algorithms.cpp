@@ -1,0 +1,150 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <unordered_map>
+
+namespace distgnn {
+
+namespace {
+
+/// Union-find with path halving and union by size.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), vid_t{0});
+  }
+
+  vid_t find(vid_t x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+
+  void unite(vid_t a, vid_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[static_cast<std::size_t>(a)] < size_[static_cast<std::size_t>(b)]) std::swap(a, b);
+    parent_[static_cast<std::size_t>(b)] = a;
+    size_[static_cast<std::size_t>(a)] += size_[static_cast<std::size_t>(b)];
+  }
+
+ private:
+  std::vector<vid_t> parent_;
+  std::vector<vid_t> size_;
+};
+
+}  // namespace
+
+Components connected_components(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  DisjointSets sets(n);
+  for (const Edge& e : g.coo().edges) sets.unite(e.src, e.dst);
+
+  Components out;
+  out.component_of.assign(n, kInvalidVertex);
+  std::unordered_map<vid_t, vid_t> label_of_root;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const vid_t root = sets.find(v);
+    auto [it, inserted] = label_of_root.emplace(root, out.num_components);
+    if (inserted) {
+      ++out.num_components;
+      out.sizes.push_back(0);
+    }
+    out.component_of[static_cast<std::size_t>(v)] = it->second;
+    ++out.sizes[static_cast<std::size_t>(it->second)];
+  }
+  return out;
+}
+
+std::vector<vid_t> bfs_distances(const Graph& g, vid_t source) {
+  std::vector<vid_t> dist(static_cast<std::size_t>(g.num_vertices()), -1);
+  if (source < 0 || source >= g.num_vertices()) return dist;
+  const CsrMatrix& out_csr = g.out_csr();
+  std::deque<vid_t> frontier{source};
+  dist[static_cast<std::size_t>(source)] = 0;
+  while (!frontier.empty()) {
+    const vid_t v = frontier.front();
+    frontier.pop_front();
+    for (const vid_t u : out_csr.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(u)] >= 0) continue;
+      dist[static_cast<std::size_t>(u)] = dist[static_cast<std::size_t>(v)] + 1;
+      frontier.push_back(u);
+    }
+  }
+  return dist;
+}
+
+InducedSubgraph induced_subgraph(const Graph& g, const std::vector<vid_t>& vertices) {
+  InducedSubgraph sub;
+  sub.global_ids = vertices;
+  sub.edges.num_vertices = static_cast<vid_t>(vertices.size());
+  std::unordered_map<vid_t, vid_t> local_of;
+  local_of.reserve(2 * vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i)
+    local_of.emplace(vertices[i], static_cast<vid_t>(i));
+  for (const Edge& e : g.coo().edges) {
+    const auto su = local_of.find(e.src);
+    if (su == local_of.end()) continue;
+    const auto sv = local_of.find(e.dst);
+    if (sv == local_of.end()) continue;
+    sub.edges.add(su->second, sv->second);
+  }
+  return sub;
+}
+
+std::vector<vid_t> core_numbers(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  // Undirected degree = in + out (multi-edges count).
+  std::vector<vid_t> degree(n, 0);
+  for (const Edge& e : g.coo().edges) {
+    ++degree[static_cast<std::size_t>(e.src)];
+    ++degree[static_cast<std::size_t>(e.dst)];
+  }
+
+  // Matula-Beck peeling with bucket queues.
+  const vid_t max_degree = n == 0 ? 0 : *std::max_element(degree.begin(), degree.end());
+  std::vector<std::vector<vid_t>> buckets(static_cast<std::size_t>(max_degree) + 1);
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    buckets[static_cast<std::size_t>(degree[static_cast<std::size_t>(v)])].push_back(v);
+
+  // Undirected adjacency from both CSR directions.
+  const CsrMatrix& in_csr = g.in_csr();
+  const CsrMatrix& out_csr = g.out_csr();
+
+  std::vector<vid_t> core(n, 0);
+  std::vector<vid_t> remaining = degree;
+  std::vector<std::uint8_t> removed(n, 0);
+  vid_t current = 0;
+  for (vid_t k = 0; k <= max_degree; ++k) {
+    auto& bucket = buckets[static_cast<std::size_t>(k)];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {  // bucket grows during the loop
+      const vid_t v = bucket[i];
+      if (removed[static_cast<std::size_t>(v)] || remaining[static_cast<std::size_t>(v)] != k)
+        continue;
+      removed[static_cast<std::size_t>(v)] = 1;
+      current = std::max(current, k);
+      core[static_cast<std::size_t>(v)] = current;
+      auto relax = [&](vid_t u) {
+        if (removed[static_cast<std::size_t>(u)]) return;
+        vid_t& r = remaining[static_cast<std::size_t>(u)];
+        if (r > k) {
+          --r;
+          if (r == k) bucket.push_back(u);  // falls into the current shell
+          else buckets[static_cast<std::size_t>(r)].push_back(u);
+        }
+      };
+      for (const vid_t u : in_csr.neighbors(v)) relax(u);
+      for (const vid_t u : out_csr.neighbors(v)) relax(u);
+    }
+    bucket.clear();
+  }
+  return core;
+}
+
+}  // namespace distgnn

@@ -1,0 +1,41 @@
+// Classic graph algorithms used as dataset diagnostics and partitioning
+// aids: connected components (partition sanity / cluster discovery), BFS
+// distances, induced subgraphs and k-core decomposition.
+#pragma once
+
+#include <vector>
+
+#include "graph/coo.hpp"
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace distgnn {
+
+/// Weakly connected components over the undirected view of the graph.
+/// Returns component ids in [0, num_components), labelled in discovery
+/// order of the smallest member vertex.
+struct Components {
+  std::vector<vid_t> component_of;  // |V|
+  vid_t num_components = 0;
+  /// Size of each component.
+  std::vector<vid_t> sizes;
+};
+Components connected_components(const Graph& g);
+
+/// BFS hop distance from `source` over out-edges; unreachable = -1.
+std::vector<vid_t> bfs_distances(const Graph& g, vid_t source);
+
+/// Induced subgraph on `vertices` (global ids, need not be sorted). Edges
+/// with both endpoints in the set are kept and remapped to local ids
+/// following the order of `vertices`.
+struct InducedSubgraph {
+  EdgeList edges;                  // endpoints are local ids
+  std::vector<vid_t> global_ids;   // local -> global, equals the input order
+};
+InducedSubgraph induced_subgraph(const Graph& g, const std::vector<vid_t>& vertices);
+
+/// k-core number of every vertex over the undirected view (the largest k
+/// such that the vertex survives iterated removal of degree-<k vertices).
+std::vector<vid_t> core_numbers(const Graph& g);
+
+}  // namespace distgnn

@@ -1,0 +1,38 @@
+// Edge-list (COO) representation: the interchange format between generators,
+// the Libra partitioner (which streams edges) and CSR construction.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace distgnn {
+
+struct Edge {
+  vid_t src = kInvalidVertex;
+  vid_t dst = kInvalidVertex;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+struct EdgeList {
+  vid_t num_vertices = 0;
+  std::vector<Edge> edges;
+
+  eid_t num_edges() const { return static_cast<eid_t>(edges.size()); }
+
+  void add(vid_t src, vid_t dst) { edges.push_back({src, dst}); }
+
+  /// Appends the reverse of every current edge, turning an undirected edge
+  /// list into the directed both-ways form the paper's datasets use
+  /// ("each original un-directed edge ... converted into two directed edges").
+  void symmetrize();
+};
+
+inline void EdgeList::symmetrize() {
+  const std::size_t n = edges.size();
+  edges.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) edges.push_back({edges[i].dst, edges[i].src});
+}
+
+}  // namespace distgnn

@@ -1,0 +1,67 @@
+// Compressed sparse row adjacency. Following the paper's convention (Alg. 1),
+// a CSR row is a *destination* vertex and its column entries are the source
+// vertices with an edge incident on it, so `A[v]` enumerates the in-
+// neighbourhood that the Aggregation Primitive pulls from. Each entry also
+// carries the original edge id so edge features (fE) can be gathered.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/coo.hpp"
+#include "util/types.hpp"
+
+namespace distgnn {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds the in-adjacency CSR (rows = destinations). Stable: within a row,
+  /// neighbours appear in edge-list order, which keeps results reproducible.
+  static CsrMatrix from_coo(const EdgeList& coo);
+
+  /// Builds the out-adjacency CSR (rows = sources) — the transpose, used by
+  /// backpropagation through the aggregation and by neighbour sampling.
+  static CsrMatrix transpose_from_coo(const EdgeList& coo);
+
+  /// Transposes this matrix (swap source/destination roles), preserving ids.
+  CsrMatrix transposed() const;
+
+  vid_t num_rows() const { return static_cast<vid_t>(row_ptr_.size()) - 1; }
+  eid_t num_entries() const { return static_cast<eid_t>(col_idx_.size()); }
+
+  /// In-neighbours (column indices) of row v.
+  std::span<const vid_t> neighbors(vid_t v) const {
+    return {col_idx_.data() + row_ptr_[v], static_cast<std::size_t>(row_ptr_[v + 1] - row_ptr_[v])};
+  }
+
+  /// Edge ids aligned with neighbors(v).
+  std::span<const eid_t> edge_ids(vid_t v) const {
+    return {edge_id_.data() + row_ptr_[v], static_cast<std::size_t>(row_ptr_[v + 1] - row_ptr_[v])};
+  }
+
+  eid_t degree(vid_t v) const { return row_ptr_[v + 1] - row_ptr_[v]; }
+
+  const std::vector<eid_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<vid_t>& col_idx() const { return col_idx_; }
+  const std::vector<eid_t>& edge_id() const { return edge_id_; }
+
+  /// Splits the *column* (source-vertex) range into `num_blocks` contiguous
+  /// blocks and returns one CSR per block, implementing the cache-blocking
+  /// preprocessing of Alg. 2. Row counts are preserved; each block holds only
+  /// the entries whose source vertex falls in [b*B, (b+1)*B).
+  std::vector<CsrMatrix> column_blocks(int num_blocks) const;
+
+  /// Direct construction from raw arrays (row_ptr has num_rows+1 entries).
+  static CsrMatrix from_raw(std::vector<eid_t> row_ptr, std::vector<vid_t> col_idx,
+                            std::vector<eid_t> edge_id);
+
+ private:
+  std::vector<eid_t> row_ptr_;  // |rows|+1
+  std::vector<vid_t> col_idx_;  // |entries|
+  std::vector<eid_t> edge_id_;  // |entries|, original edge ids
+};
+
+}  // namespace distgnn

@@ -1,0 +1,92 @@
+// Synthetic dataset registry mirroring Table 2 of the paper. Each named
+// dataset ("reddit-sim", "ogbn-products-sim", "proteins-sim",
+// "ogbn-papers-sim", "am-sim") is a scaled-down analogue whose density
+// character matches the original; `scale` multiplies the vertex count so the
+// same benchmark can be run larger or smaller.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/matrix.hpp"
+#include "util/types.hpp"
+
+namespace distgnn {
+
+/// A fully materialized dataset: graph + vertex features + labels + the
+/// train/validation/test split, ready for full-batch training.
+struct Dataset {
+  std::string name;
+  Graph graph;
+  DenseMatrix features;          // |V| x feature_dim
+  std::vector<int> labels;       // |V|
+  std::vector<std::uint8_t> train_mask, val_mask, test_mask;  // |V| each
+  int num_classes = 0;
+
+  vid_t num_vertices() const { return graph.num_vertices(); }
+  eid_t num_edges() const { return graph.num_edges(); }
+  int feature_dim() const { return static_cast<int>(features.cols()); }
+};
+
+enum class GraphFamily {
+  kRmat,       // skewed power-law quadrature (Reddit/Products character)
+  kPowerLaw,   // Chung-Lu heavy tail (Papers character)
+  kSbm,        // planted communities (Proteins character; learnable labels)
+  kErdos,      // uniform control
+};
+
+/// Static description of a named dataset; see `dataset_registry()`.
+struct DatasetSpec {
+  std::string name;
+  GraphFamily family = GraphFamily::kRmat;
+  vid_t num_vertices = 1 << 14;   // at scale = 1
+  double avg_degree = 16.0;       // directed edges per vertex after symmetrize
+  int feature_dim = 64;
+  int num_classes = 16;
+  double rmat_skew = 0.57;        // RMAT `a` parameter (b = c = (1-a-d)/2)
+  double power_law_exponent = 2.1;
+  int sbm_blocks = 16;
+  double sbm_in_out_ratio = 8.0;
+  double train_fraction = 0.10, val_fraction = 0.05;
+  std::uint64_t seed = 42;
+
+  // Paper-reported statistics of the original dataset (Table 2), retained so
+  // benches can print the paper-vs-sim comparison.
+  vid_t paper_vertices = 0;
+  eid_t paper_edges = 0;
+  int paper_features = 0;
+  int paper_classes = 0;
+};
+
+/// The five Table 2 datasets, in paper order.
+const std::vector<DatasetSpec>& dataset_registry();
+
+/// Looks up a spec by name; throws std::out_of_range for unknown names.
+const DatasetSpec& dataset_spec(const std::string& name);
+
+/// Materializes a dataset at `scale` (vertex count multiplied by `scale`,
+/// edge count scaled to keep average degree constant). For the SBM family the
+/// labels are the planted communities and features are class-informative
+/// (centroid + Gaussian noise) so models can genuinely learn; for the other
+/// families features/labels are random (the perf experiments never look at
+/// accuracy).
+Dataset make_dataset(const DatasetSpec& spec, double scale = 1.0);
+Dataset make_dataset(const std::string& name, double scale = 1.0);
+
+/// Direct construction of a learnable SBM dataset (used by accuracy tests
+/// and Table 5): num_classes == num_blocks, noisy class-centroid features.
+struct LearnableSbmParams {
+  vid_t num_vertices = 4096;
+  int num_classes = 8;
+  double avg_degree = 16.0;
+  double in_out_ratio = 8.0;
+  int feature_dim = 32;
+  float feature_noise = 1.0f;   // stddev of Gaussian noise around centroid
+  double train_fraction = 0.30, val_fraction = 0.10;
+  std::uint64_t seed = 11;
+};
+Dataset make_learnable_sbm(const LearnableSbmParams& params);
+
+}  // namespace distgnn

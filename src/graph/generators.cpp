@@ -1,0 +1,171 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace distgnn {
+
+namespace {
+
+int ceil_log2(vid_t n) {
+  int bits = 0;
+  while ((vid_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+void dedup_edges(EdgeList& el) {
+  auto& edges = el.edges;
+  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+    return x.src != y.src ? x.src < y.src : x.dst < y.dst;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+}
+
+}  // namespace
+
+EdgeList generate_rmat(const RmatParams& params) {
+  const double d = 1.0 - params.a - params.b - params.c;
+  if (d < -1e-9 || params.a < 0 || params.b < 0 || params.c < 0)
+    throw std::invalid_argument("generate_rmat: probabilities must be >= 0 and sum to <= 1");
+
+  const int bits = ceil_log2(std::max<vid_t>(params.num_vertices, 2));
+  Rng rng(params.seed);
+  EdgeList el;
+  el.num_vertices = params.num_vertices;
+  el.edges.reserve(static_cast<std::size_t>(params.num_edges));
+
+  for (eid_t i = 0; i < params.num_edges; ++i) {
+    vid_t src = 0, dst = 0;
+    do {
+      src = 0;
+      dst = 0;
+      for (int b = 0; b < bits; ++b) {
+        const double r = rng.next_double();
+        const double a = params.a, bb = params.b, c = params.c;
+        src <<= 1;
+        dst <<= 1;
+        if (r < a) {
+          // top-left: no bits set
+        } else if (r < a + bb) {
+          dst |= 1;
+        } else if (r < a + bb + c) {
+          src |= 1;
+        } else {
+          src |= 1;
+          dst |= 1;
+        }
+      }
+    } while (src >= params.num_vertices || dst >= params.num_vertices || src == dst);
+    el.add(src, dst);
+  }
+
+  if (params.dedup) dedup_edges(el);
+  if (params.symmetrize) el.symmetrize();
+  return el;
+}
+
+EdgeList generate_erdos_renyi(vid_t num_vertices, eid_t num_edges, std::uint64_t seed,
+                              bool symmetrize) {
+  Rng rng(seed);
+  EdgeList el;
+  el.num_vertices = num_vertices;
+  el.edges.reserve(static_cast<std::size_t>(num_edges));
+  for (eid_t i = 0; i < num_edges; ++i) {
+    vid_t u = 0, v = 0;
+    do {
+      u = static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(num_vertices)));
+      v = static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(num_vertices)));
+    } while (u == v);
+    el.add(u, v);
+  }
+  if (symmetrize) el.symmetrize();
+  return el;
+}
+
+SbmGraph generate_sbm(const SbmParams& params) {
+  if (params.num_blocks <= 0) throw std::invalid_argument("generate_sbm: num_blocks must be > 0");
+  Rng rng(params.seed);
+  SbmGraph g;
+  g.edges.num_vertices = params.num_vertices;
+  g.block_of.resize(static_cast<std::size_t>(params.num_vertices));
+  for (auto& b : g.block_of) b = static_cast<int>(rng.next_below(params.num_blocks));
+
+  // Bucket vertices by block for fast intra-block endpoint draws.
+  std::vector<std::vector<vid_t>> members(static_cast<std::size_t>(params.num_blocks));
+  for (vid_t v = 0; v < params.num_vertices; ++v)
+    members[static_cast<std::size_t>(g.block_of[static_cast<std::size_t>(v)])].push_back(v);
+
+  // Expected number of directed edges before symmetrization.
+  const eid_t target_edges =
+      static_cast<eid_t>(params.avg_degree * static_cast<double>(params.num_vertices) /
+                         (params.symmetrize ? 2.0 : 1.0));
+  // Probability an edge is intra-block given the in/out ratio and that a
+  // uniformly random pair is intra-block with probability ~1/num_blocks.
+  const double k = static_cast<double>(params.num_blocks);
+  const double p_intra =
+      params.in_out_ratio / (params.in_out_ratio + (k - 1.0));
+
+  g.edges.edges.reserve(static_cast<std::size_t>(target_edges));
+  for (eid_t i = 0; i < target_edges; ++i) {
+    vid_t u = 0, v = 0;
+    int guard = 0;
+    do {
+      u = static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(params.num_vertices)));
+      if (rng.bernoulli(p_intra)) {
+        const auto& bucket = members[static_cast<std::size_t>(g.block_of[static_cast<std::size_t>(u)])];
+        v = bucket.empty() ? u : bucket[rng.next_below(bucket.size())];
+      } else {
+        v = static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(params.num_vertices)));
+      }
+    } while (u == v && ++guard < 64);
+    if (u == v) continue;
+    g.edges.add(u, v);
+  }
+  if (params.symmetrize) g.edges.symmetrize();
+  return g;
+}
+
+EdgeList generate_power_law(vid_t num_vertices, double avg_degree, double exponent,
+                            std::uint64_t seed, bool symmetrize) {
+  if (exponent <= 1.0) throw std::invalid_argument("generate_power_law: exponent must be > 1");
+  Rng rng(seed);
+
+  // Chung-Lu: weight w_i ~ i^{-1/(exponent-1)}, edge endpoints drawn with
+  // probability proportional to weight via an alias-free cumulative table.
+  std::vector<double> cumulative(static_cast<std::size_t>(num_vertices));
+  double sum = 0.0;
+  const double inv = 1.0 / (exponent - 1.0);
+  for (vid_t i = 0; i < num_vertices; ++i) {
+    sum += std::pow(static_cast<double>(i + 1), -inv);
+    cumulative[static_cast<std::size_t>(i)] = sum;
+  }
+
+  auto draw = [&]() {
+    const double r = rng.next_double() * sum;
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), r);
+    return static_cast<vid_t>(it - cumulative.begin());
+  };
+
+  const eid_t target_edges = static_cast<eid_t>(
+      avg_degree * static_cast<double>(num_vertices) / (symmetrize ? 2.0 : 1.0));
+  EdgeList el;
+  el.num_vertices = num_vertices;
+  el.edges.reserve(static_cast<std::size_t>(target_edges));
+  for (eid_t i = 0; i < target_edges; ++i) {
+    vid_t u = 0, v = 0;
+    int guard = 0;
+    do {
+      u = draw();
+      v = draw();
+    } while (u == v && ++guard < 64);
+    if (u == v) continue;
+    el.add(u, v);
+  }
+  if (symmetrize) el.symmetrize();
+  return el;
+}
+
+}  // namespace distgnn

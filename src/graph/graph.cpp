@@ -1,0 +1,40 @@
+#include "graph/graph.hpp"
+
+namespace distgnn {
+
+Graph::Graph(EdgeList coo) : coo_(std::move(coo)) {}
+
+const CsrMatrix& Graph::in_csr() const {
+  // Double-checked lazy build: the atomic publish makes the fast path
+  // lock-free once the CSR exists.
+  if (const CsrMatrix* ready = in_ready_.load(std::memory_order_acquire)) return *ready;
+  const std::lock_guard lock(*lazy_mutex_);
+  if (!in_csr_) {
+    in_csr_ = std::make_unique<CsrMatrix>(CsrMatrix::from_coo(coo_));
+    in_ready_.store(in_csr_.get(), std::memory_order_release);
+  }
+  return *in_csr_;
+}
+
+const CsrMatrix& Graph::out_csr() const {
+  if (const CsrMatrix* ready = out_ready_.load(std::memory_order_acquire)) return *ready;
+  const std::lock_guard lock(*lazy_mutex_);
+  if (!out_csr_) {
+    out_csr_ = std::make_unique<CsrMatrix>(CsrMatrix::transpose_from_coo(coo_));
+    out_ready_.store(out_csr_.get(), std::memory_order_release);
+  }
+  return *out_csr_;
+}
+
+double Graph::avg_degree() const {
+  return num_vertices() == 0 ? 0.0
+                             : static_cast<double>(num_edges()) / static_cast<double>(num_vertices());
+}
+
+double Graph::density() const {
+  if (num_vertices() == 0) return 0.0;
+  const double n = static_cast<double>(num_vertices());
+  return static_cast<double>(num_edges()) / (n * n);
+}
+
+}  // namespace distgnn

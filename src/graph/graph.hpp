@@ -1,0 +1,73 @@
+// Graph: the COO edge list plus lazily built in/out CSR adjacency and cached
+// degrees. This is the object the trainer, partitioner and samplers share.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace distgnn {
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(EdgeList coo);
+
+  vid_t num_vertices() const { return coo_.num_vertices; }
+  eid_t num_edges() const { return coo_.num_edges(); }
+
+  const EdgeList& coo() const { return coo_; }
+
+  /// In-adjacency (rows = destinations) — the aggregation pulls along this.
+  const CsrMatrix& in_csr() const;
+  /// Out-adjacency (rows = sources) — used by backprop and sampling.
+  const CsrMatrix& out_csr() const;
+
+  eid_t in_degree(vid_t v) const { return in_csr().degree(v); }
+  eid_t out_degree(vid_t v) const { return out_csr().degree(v); }
+
+  /// Average in-degree = |E| / |V|.
+  double avg_degree() const;
+  /// Non-zero density of the adjacency matrix = |E| / |V|^2.
+  double density() const;
+
+ private:
+  EdgeList coo_;
+  // Lazy CSR construction is guarded so concurrent rank threads sharing one
+  // Graph (the mini-batch trainers sample against the same in_csr) are safe.
+  // The mutex lives on the heap so the Graph itself stays movable.
+  mutable std::shared_ptr<std::mutex> lazy_mutex_ = std::make_shared<std::mutex>();
+  mutable std::atomic<CsrMatrix*> in_ready_{nullptr};
+  mutable std::atomic<CsrMatrix*> out_ready_{nullptr};
+  mutable std::unique_ptr<CsrMatrix> in_csr_;
+  mutable std::unique_ptr<CsrMatrix> out_csr_;
+
+ public:
+  Graph(const Graph& other) : Graph(other.coo_) {}
+  Graph& operator=(const Graph& other) {
+    if (this != &other) *this = Graph(other.coo_);
+    return *this;
+  }
+  Graph(Graph&& other) noexcept { *this = std::move(other); }
+  Graph& operator=(Graph&& other) noexcept {
+    if (this != &other) {
+      coo_ = std::move(other.coo_);
+      lazy_mutex_ = std::move(other.lazy_mutex_);
+      other.lazy_mutex_ = std::make_shared<std::mutex>();  // keep moved-from usable
+      in_csr_ = std::move(other.in_csr_);
+      out_csr_ = std::move(other.out_csr_);
+      in_ready_.store(in_csr_.get(), std::memory_order_release);
+      out_ready_.store(out_csr_.get(), std::memory_order_release);
+    }
+    return *this;
+  }
+  ~Graph() = default;
+};
+
+}  // namespace distgnn

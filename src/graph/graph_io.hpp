@@ -1,0 +1,25 @@
+// Graph serialization: a simple binary container for edge lists plus a
+// whitespace edge-list text reader, so generated datasets can be cached on
+// disk and partitions can be saved/restored between runs.
+#pragma once
+
+#include <string>
+
+#include "graph/coo.hpp"
+
+namespace distgnn {
+
+/// Writes "DGNN" magic, version, vertex count and the raw edge array.
+void save_edge_list_binary(const EdgeList& el, const std::string& path);
+
+/// Reads a file produced by save_edge_list_binary. Throws std::runtime_error
+/// on malformed input.
+EdgeList load_edge_list_binary(const std::string& path);
+
+/// Reads "src dst" pairs, one per line; '#' starts a comment. num_vertices is
+/// max id + 1 unless a larger value is given.
+EdgeList load_edge_list_text(const std::string& path, vid_t min_num_vertices = 0);
+
+void save_edge_list_text(const EdgeList& el, const std::string& path);
+
+}  // namespace distgnn

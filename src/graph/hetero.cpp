@@ -1,0 +1,102 @@
+#include "graph/hetero.hpp"
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace distgnn {
+
+HeteroGraph::HeteroGraph(EdgeList edges, std::vector<int> edge_type, int num_edge_types)
+    : edges_(std::move(edges)), edge_type_(std::move(edge_type)), num_edge_types_(num_edge_types) {
+  if (edge_type_.size() != edges_.edges.size())
+    throw std::invalid_argument("HeteroGraph: edge_type size must match edge count");
+  for (const int t : edge_type_)
+    if (t < 0 || t >= num_edge_types_)
+      throw std::out_of_range("HeteroGraph: edge type outside [0, num_edge_types)");
+  per_type_edges_.resize(static_cast<std::size_t>(num_edge_types_));
+  per_type_in_.resize(static_cast<std::size_t>(num_edge_types_));
+  per_type_out_.resize(static_cast<std::size_t>(num_edge_types_));
+}
+
+const EdgeList& HeteroGraph::typed_edges(int relation) const {
+  if (relation < 0 || relation >= num_edge_types_)
+    throw std::out_of_range("HeteroGraph: bad relation id");
+  auto& cached = per_type_edges_[static_cast<std::size_t>(relation)];
+  if (!cached) {
+    auto el = std::make_unique<EdgeList>();
+    el->num_vertices = edges_.num_vertices;
+    for (std::size_t i = 0; i < edges_.edges.size(); ++i)
+      if (edge_type_[i] == relation) el->edges.push_back(edges_.edges[i]);
+    cached = std::move(el);
+  }
+  return *cached;
+}
+
+const CsrMatrix& HeteroGraph::in_csr(int relation) const {
+  auto& cached = per_type_in_[static_cast<std::size_t>(relation)];
+  if (!cached) cached = std::make_unique<CsrMatrix>(CsrMatrix::from_coo(typed_edges(relation)));
+  return *cached;
+}
+
+const CsrMatrix& HeteroGraph::out_csr(int relation) const {
+  auto& cached = per_type_out_[static_cast<std::size_t>(relation)];
+  if (!cached)
+    cached = std::make_unique<CsrMatrix>(CsrMatrix::transpose_from_coo(typed_edges(relation)));
+  return *cached;
+}
+
+HeteroDataset make_hetero_dataset(const HeteroDatasetParams& params) {
+  SbmParams sp;
+  sp.num_vertices = params.num_vertices;
+  sp.num_blocks = params.num_classes;
+  sp.avg_degree = params.avg_degree;
+  sp.in_out_ratio = 8.0;
+  sp.seed = params.seed;
+  SbmGraph sbm = generate_sbm(sp);
+
+  Rng rng(params.seed ^ 0xfeed);
+  // Relation assignment: intra-community edges favour relation 0/1, cross-
+  // community edges favour the higher relations, so relations are genuinely
+  // informative about structure.
+  std::vector<int> edge_type(sbm.edges.edges.size());
+  for (std::size_t i = 0; i < sbm.edges.edges.size(); ++i) {
+    const Edge& e = sbm.edges.edges[i];
+    const bool intra = sbm.block_of[static_cast<std::size_t>(e.src)] ==
+                       sbm.block_of[static_cast<std::size_t>(e.dst)];
+    const int half = std::max(1, params.num_edge_types / 2);
+    edge_type[i] = intra ? static_cast<int>(rng.next_below(static_cast<std::uint64_t>(half)))
+                         : half + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+                                      std::max(1, params.num_edge_types - half))));
+  }
+
+  HeteroDataset ds;
+  ds.num_classes = params.num_classes;
+  const auto n = static_cast<std::size_t>(params.num_vertices);
+  ds.labels.resize(n);
+  for (std::size_t v = 0; v < n; ++v) ds.labels[v] = sbm.block_of[v];
+  ds.graph = HeteroGraph(std::move(sbm.edges), std::move(edge_type), params.num_edge_types);
+
+  DenseMatrix centroids(static_cast<std::size_t>(params.num_classes),
+                        static_cast<std::size_t>(params.feature_dim));
+  for (std::size_t i = 0; i < centroids.size(); ++i) centroids.data()[i] = 2.0f * rng.normal();
+  ds.features.resize_discard(n, static_cast<std::size_t>(params.feature_dim));
+  for (std::size_t v = 0; v < n; ++v)
+    for (int j = 0; j < params.feature_dim; ++j)
+      ds.features.at(v, static_cast<std::size_t>(j)) =
+          centroids.at(static_cast<std::size_t>(ds.labels[v]), static_cast<std::size_t>(j)) +
+          params.feature_noise * rng.normal();
+
+  ds.train_mask.assign(n, 0);
+  ds.val_mask.assign(n, 0);
+  ds.test_mask.assign(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const double r = rng.next_double();
+    if (r < params.train_fraction) ds.train_mask[v] = 1;
+    else if (r < params.train_fraction + params.val_fraction) ds.val_mask[v] = 1;
+    else ds.test_mask[v] = 1;
+  }
+  return ds;
+}
+
+}  // namespace distgnn

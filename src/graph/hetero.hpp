@@ -1,0 +1,78 @@
+// Heterogeneous (edge-typed) graphs for the RGCN workload of Figure 2: the
+// AM museum dataset is a knowledge graph whose edges carry relation types,
+// and RGCN-hetero aggregates each relation with its own weight matrix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+#include "util/matrix.hpp"
+
+namespace distgnn {
+
+class HeteroGraph {
+ public:
+  HeteroGraph() = default;
+  /// edge_type[i] in [0, num_edge_types) classifies edges[i].
+  HeteroGraph(EdgeList edges, std::vector<int> edge_type, int num_edge_types);
+
+  vid_t num_vertices() const { return edges_.num_vertices; }
+  eid_t num_edges() const { return edges_.num_edges(); }
+  int num_edge_types() const { return num_edge_types_; }
+
+  const EdgeList& edges() const { return edges_; }
+  const std::vector<int>& edge_types() const { return edge_type_; }
+
+  /// In-adjacency CSR restricted to one relation (built lazily, cached).
+  /// NOTE: lazy construction is not thread-safe; touch every relation once
+  /// (as RgcnTrainer's constructor does) before sharing across threads.
+  const CsrMatrix& in_csr(int relation) const;
+  /// Out-adjacency of one relation (for backprop).
+  const CsrMatrix& out_csr(int relation) const;
+
+  /// In-degree of v counting only edges of `relation`.
+  eid_t in_degree(vid_t v, int relation) const { return in_csr(relation).degree(v); }
+
+ private:
+  const EdgeList& typed_edges(int relation) const;
+
+  EdgeList edges_;
+  std::vector<int> edge_type_;
+  int num_edge_types_ = 0;
+  mutable std::vector<std::unique_ptr<EdgeList>> per_type_edges_;
+  mutable std::vector<std::unique_ptr<CsrMatrix>> per_type_in_;
+  mutable std::vector<std::unique_ptr<CsrMatrix>> per_type_out_;
+};
+
+/// A labelled heterogeneous dataset (AM character): planted communities give
+/// learnable labels; each edge carries one of `num_edge_types` relations,
+/// with intra-community edges biased toward low-numbered relations so the
+/// relation signal is informative, as in real knowledge graphs.
+struct HeteroDatasetParams {
+  vid_t num_vertices = 4096;
+  int num_classes = 11;        // AM's class count
+  int num_edge_types = 4;
+  double avg_degree = 8.0;
+  int feature_dim = 16;
+  float feature_noise = 1.0f;
+  double train_fraction = 0.3, val_fraction = 0.1;
+  std::uint64_t seed = 19;
+};
+
+struct HeteroDataset {
+  HeteroGraph graph;
+  DenseMatrix features;
+  std::vector<int> labels;
+  std::vector<std::uint8_t> train_mask, val_mask, test_mask;
+  int num_classes = 0;
+
+  vid_t num_vertices() const { return graph.num_vertices(); }
+  int feature_dim() const { return static_cast<int>(features.cols()); }
+};
+
+HeteroDataset make_hetero_dataset(const HeteroDatasetParams& params);
+
+}  // namespace distgnn

@@ -1,0 +1,123 @@
+#include "kernels/microkernel.hpp"
+
+#include <array>
+
+namespace distgnn {
+
+std::string to_string(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "add";
+    case BinaryOp::kSub: return "sub";
+    case BinaryOp::kMul: return "mul";
+    case BinaryOp::kDiv: return "div";
+    case BinaryOp::kCopyLhs: return "copylhs";
+    case BinaryOp::kCopyRhs: return "copyrhs";
+  }
+  return "?";
+}
+
+std::string to_string(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return "sum";
+    case ReduceOp::kMax: return "max";
+    case ReduceOp::kMin: return "min";
+  }
+  return "?";
+}
+
+real_t reduce_identity(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return ReduceFn<ReduceOp::kSum>::identity();
+    case ReduceOp::kMax: return ReduceFn<ReduceOp::kMax>::identity();
+    case ReduceOp::kMin: return ReduceFn<ReduceOp::kMin>::identity();
+  }
+  return 0;
+}
+
+namespace {
+
+// The generic instantiation: neighbours in the outer loop, SIMD over the
+// feature dimension, accumulator kept hot. The destination row is read and
+// written once per call — the Alg. 3 property that LIBXSMM's reordering buys.
+template <BinaryOp B, ReduceOp R>
+void row_kernel_impl(const vid_t* nbrs, const eid_t* eids, std::size_t degree, const real_t* fV,
+                     const real_t* fE, std::size_t d, real_t* acc) {
+  for (std::size_t i = 0; i < degree; ++i) {
+    const real_t* lhs = uses_lhs(B) ? fV + static_cast<std::size_t>(nbrs[i]) * d : nullptr;
+    const real_t* rhs = uses_rhs(B) ? fE + static_cast<std::size_t>(eids[i]) * d : nullptr;
+    if constexpr (B == BinaryOp::kCopyLhs) {
+#pragma omp simd
+      for (std::size_t j = 0; j < d; ++j) acc[j] = ReduceFn<R>::apply(acc[j], lhs[j]);
+    } else if constexpr (B == BinaryOp::kCopyRhs) {
+#pragma omp simd
+      for (std::size_t j = 0; j < d; ++j) acc[j] = ReduceFn<R>::apply(acc[j], rhs[j]);
+    } else {
+#pragma omp simd
+      for (std::size_t j = 0; j < d; ++j)
+        acc[j] = ReduceFn<R>::apply(acc[j], BinaryFn<B>::apply(lhs[j], rhs[j]));
+    }
+  }
+}
+
+template <BinaryOp B>
+constexpr RowKernelFn select_reduce(ReduceOp reduce) {
+  switch (reduce) {
+    case ReduceOp::kSum: return &row_kernel_impl<B, ReduceOp::kSum>;
+    case ReduceOp::kMax: return &row_kernel_impl<B, ReduceOp::kMax>;
+    case ReduceOp::kMin: return &row_kernel_impl<B, ReduceOp::kMin>;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+RowKernelFn lookup_row_kernel(BinaryOp binary, ReduceOp reduce) {
+  switch (binary) {
+    case BinaryOp::kAdd: return select_reduce<BinaryOp::kAdd>(reduce);
+    case BinaryOp::kSub: return select_reduce<BinaryOp::kSub>(reduce);
+    case BinaryOp::kMul: return select_reduce<BinaryOp::kMul>(reduce);
+    case BinaryOp::kDiv: return select_reduce<BinaryOp::kDiv>(reduce);
+    case BinaryOp::kCopyLhs: return select_reduce<BinaryOp::kCopyLhs>(reduce);
+    case BinaryOp::kCopyRhs: return select_reduce<BinaryOp::kCopyRhs>(reduce);
+  }
+  return nullptr;
+}
+
+namespace {
+
+real_t apply_binary(BinaryOp op, real_t x, real_t y) {
+  switch (op) {
+    case BinaryOp::kAdd: return x + y;
+    case BinaryOp::kSub: return x - y;
+    case BinaryOp::kMul: return x * y;
+    case BinaryOp::kDiv: return x / y;
+    case BinaryOp::kCopyLhs: return x;
+    case BinaryOp::kCopyRhs: return y;
+  }
+  return 0;
+}
+
+real_t apply_reduce(ReduceOp op, real_t z, real_t v) {
+  switch (op) {
+    case ReduceOp::kSum: return z + v;
+    case ReduceOp::kMax: return std::max(z, v);
+    case ReduceOp::kMin: return std::min(z, v);
+  }
+  return 0;
+}
+
+}  // namespace
+
+void row_kernel_reference(BinaryOp binary, ReduceOp reduce, const vid_t* nbrs, const eid_t* eids,
+                          std::size_t degree, const real_t* fV, const real_t* fE, std::size_t d,
+                          real_t* acc) {
+  for (std::size_t i = 0; i < degree; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const real_t lhs = uses_lhs(binary) ? fV[static_cast<std::size_t>(nbrs[i]) * d + j] : real_t{0};
+      const real_t rhs = uses_rhs(binary) ? fE[static_cast<std::size_t>(eids[i]) * d + j] : real_t{0};
+      acc[j] = apply_reduce(reduce, acc[j], apply_binary(binary, lhs, rhs));
+    }
+  }
+}
+
+}  // namespace distgnn

@@ -1,0 +1,21 @@
+// Sampled dense-dense matrix multiplication: DGL's formulation of per-edge
+// message computation (§2.2 of the paper). For every edge (u, v) it combines
+// the endpoint feature vectors, producing an edge-feature matrix — the other
+// half of the message-passing API next to the AP/SpMM.
+#pragma once
+
+#include "graph/coo.hpp"
+#include "kernels/ops.hpp"
+#include "util/matrix.hpp"
+
+namespace distgnn {
+
+/// Element-wise form: out[e][j] = binary(fV[src(e)][j], fV[dst(e)][j]).
+/// out must be |E| x d. Copy ops select one endpoint's features.
+void sddmm_elementwise(const EdgeList& edges, ConstMatrixView fV, BinaryOp binary, MatrixView out);
+
+/// Dot-product form: out[e][0] = Σ_j fV[src(e)][j] * fV[dst(e)][j].
+/// The attention-score pattern; out must be |E| x 1.
+void sddmm_dot(const EdgeList& edges, ConstMatrixView fV, MatrixView out);
+
+}  // namespace distgnn

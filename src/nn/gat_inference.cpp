@@ -1,0 +1,87 @@
+#include "nn/gat_inference.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/gemm.hpp"
+#include "nn/init.hpp"
+
+namespace distgnn {
+
+GatInference::GatInference(std::size_t in_dim, std::size_t out_dim, Rng& rng, float leaky_slope)
+    : weight_(in_dim, out_dim),
+      attn_src_(1, out_dim),
+      attn_dst_(1, out_dim),
+      leaky_slope_(leaky_slope) {
+  xavier_uniform(weight_.view(), in_dim, out_dim, rng);
+  xavier_uniform(attn_src_.view(), out_dim, 1, rng);
+  xavier_uniform(attn_dst_.view(), out_dim, 1, rng);
+}
+
+void GatInference::forward(const Graph& g, ConstMatrixView H, MatrixView Y) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  if (H.rows != n || Y.rows != n || Y.cols != weight_.cols())
+    throw std::invalid_argument("GatInference: shape mismatch");
+  const std::size_t d = weight_.cols();
+
+  // Projection.
+  z_.resize_discard(n, d);
+  gemm(H, weight_.cview(), z_.view());
+
+  // Per-vertex halves of the additive attention: src_term_u = a_src . z_u,
+  // dst_term_v = a_dst . z_v. (The SDDMM pattern reduced to rank-1 form.)
+  std::vector<real_t> src_term(n), dst_term(n);
+#pragma omp parallel for schedule(static)
+  for (std::size_t v = 0; v < n; ++v) {
+    const real_t* zr = z_.row(v);
+    real_t s = 0, t = 0;
+#pragma omp simd reduction(+ : s, t)
+    for (std::size_t j = 0; j < d; ++j) {
+      s += zr[j] * attn_src_.at(0, j);
+      t += zr[j] * attn_dst_.at(0, j);
+    }
+    src_term[v] = s;
+    dst_term[v] = t;
+  }
+
+  // Raw scores per edge (coo order), then per-destination softmax over the
+  // in-adjacency, then the attention-weighted aggregation.
+  const auto& edges = g.coo().edges;
+  attention_.assign(edges.size(), 0);
+  const CsrMatrix& in_csr = g.in_csr();
+  const vid_t nv = g.num_vertices();
+#pragma omp parallel for schedule(dynamic, 64)
+  for (vid_t v = 0; v < nv; ++v) {
+    const auto nbrs = in_csr.neighbors(v);
+    const auto eids = in_csr.edge_ids(v);
+    real_t* out = Y.row(static_cast<std::size_t>(v));
+    for (std::size_t j = 0; j < d; ++j) out[j] = 0;
+    if (nbrs.empty()) continue;
+
+    // Scores with LeakyReLU, stabilized softmax.
+    real_t max_score = -std::numeric_limits<real_t>::infinity();
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const real_t raw = src_term[static_cast<std::size_t>(nbrs[i])] +
+                         dst_term[static_cast<std::size_t>(v)];
+      const real_t score = raw > 0 ? raw : leaky_slope_ * raw;
+      attention_[static_cast<std::size_t>(eids[i])] = score;
+      max_score = std::max(max_score, score);
+    }
+    real_t denom = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      real_t& a = attention_[static_cast<std::size_t>(eids[i])];
+      a = std::exp(a - max_score);
+      denom += a;
+    }
+    const real_t inv = 1.0f / denom;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      real_t& a = attention_[static_cast<std::size_t>(eids[i])];
+      a *= inv;
+      const real_t* zu = z_.row(static_cast<std::size_t>(nbrs[i]));
+#pragma omp simd
+      for (std::size_t j = 0; j < d; ++j) out[j] += a * zu[j];
+    }
+  }
+}
+
+}  // namespace distgnn

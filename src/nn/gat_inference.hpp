@@ -1,0 +1,44 @@
+// Single-head Graph Attention (GAT, Velickovic et al.) forward pass — one of
+// the "different GNN model architectures" the paper's §7 plans to extend
+// DistGNN to. Implemented as inference (no backward): attention scoring is
+// the SDDMM side of DGL's message-passing API (§2.2), and the weighted
+// neighbourhood sum is the AP with a per-edge multiplier, so this layer
+// exercises the edge-feature code paths end to end.
+//
+//   z_v    = W h_v
+//   e_uv   = LeakyReLU(a_src · z_u + a_dst · z_v)       (per in-edge)
+//   α_uv   = softmax over v's in-edges of e_uv
+//   out_v  = Σ_u α_uv z_u
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace distgnn {
+
+class GatInference {
+ public:
+  GatInference(std::size_t in_dim, std::size_t out_dim, Rng& rng, float leaky_slope = 0.2f);
+
+  /// Y must be |V| x out_dim. Vertices with no in-edges output zeros.
+  void forward(const Graph& g, ConstMatrixView H, MatrixView Y);
+
+  /// Normalized attention of the last forward, aligned with g.coo().edges
+  /// (useful for inspection and for the AP cross-check in tests).
+  const std::vector<real_t>& last_attention() const { return attention_; }
+
+  DenseMatrix& weight() { return weight_; }
+  DenseMatrix& attn_src() { return attn_src_; }
+  DenseMatrix& attn_dst() { return attn_dst_; }
+
+ private:
+  DenseMatrix weight_;    // in x out
+  DenseMatrix attn_src_;  // 1 x out (the a_src half of the attention vector)
+  DenseMatrix attn_dst_;  // 1 x out
+  float leaky_slope_;
+  DenseMatrix z_;                   // projected features
+  std::vector<real_t> attention_;  // per-edge α, coo order
+};
+
+}  // namespace distgnn

@@ -1,0 +1,67 @@
+#include "nn/graphsage_layer.hpp"
+
+#include <stdexcept>
+
+namespace distgnn {
+
+GraphSageLayer::GraphSageLayer(std::size_t in_dim, std::size_t out_dim, bool apply_relu, Rng& rng)
+    : linear_(in_dim, out_dim, rng), apply_relu_(apply_relu) {}
+
+void GraphSageLayer::forward_from_aggregate(ConstMatrixView H, ConstMatrixView agg,
+                                            ConstMatrixView inv_norm, MatrixView Y) {
+  if (H.rows != agg.rows || H.cols != agg.cols)
+    throw std::invalid_argument("GraphSageLayer: H/agg shape mismatch");
+  if (inv_norm.rows != H.rows || inv_norm.cols != 1)
+    throw std::invalid_argument("GraphSageLayer: inv_norm must be n x 1");
+
+  const std::size_t n = H.rows, d = H.cols;
+  combined_.resize_discard(n, d);
+  inv_norm_.resize_discard(n, 1);
+#pragma omp parallel for schedule(static)
+  for (std::size_t v = 0; v < n; ++v) {
+    const real_t s = inv_norm.at(v, 0);
+    inv_norm_.at(v, 0) = s;
+    const real_t* h = H.row(v);
+    const real_t* a = agg.row(v);
+    real_t* c = combined_.row(v);
+#pragma omp simd
+    for (std::size_t j = 0; j < d; ++j) c[j] = (a[j] + h[j]) * s;
+  }
+
+  if (apply_relu_) {
+    z_.resize_discard(n, linear_.out_dim());
+    linear_.forward(combined_.cview(), z_.view());
+    relu_.forward(z_.cview(), Y);
+  } else {
+    linear_.forward(combined_.cview(), Y);
+  }
+}
+
+void GraphSageLayer::backward_to_scaled(ConstMatrixView dY, MatrixView dscaled) {
+  if (dscaled.rows != combined_.rows() || dscaled.cols != combined_.cols())
+    throw std::invalid_argument("GraphSageLayer::backward_to_scaled: dscaled shape mismatch");
+
+  ConstMatrixView upstream = dY;
+  if (apply_relu_) {
+    dz_.resize_discard(dY.rows, dY.cols);
+    relu_.backward(dY, dz_.view());
+    upstream = dz_.cview();
+  }
+  // dcombined lands in dscaled, then is scaled by inv_norm in place.
+  linear_.backward(upstream, dscaled);
+  const std::size_t n = dscaled.rows, d = dscaled.cols;
+#pragma omp parallel for schedule(static)
+  for (std::size_t v = 0; v < n; ++v) {
+    const real_t s = inv_norm_.at(v, 0);
+    real_t* row = dscaled.row(v);
+#pragma omp simd
+    for (std::size_t j = 0; j < d; ++j) row[j] *= s;
+  }
+}
+
+void GraphSageLayer::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({linear_.weight().data(), linear_.weight_grad().data(), linear_.weight().size()});
+  out.push_back({linear_.bias().data(), linear_.bias_grad().data(), linear_.bias().size()});
+}
+
+}  // namespace distgnn

@@ -1,0 +1,56 @@
+// One GraphSAGE layer with the paper's GCN aggregation operator (§6.1):
+// the neighbourhood sum is added to the vertex's own features and the sum is
+// normalized by the in-degree, then passed through a Linear (+ ReLU).
+//
+// The layer is deliberately decoupled from *how* the neighbourhood sum was
+// produced: the single-socket trainer feeds it a local aggregate, the
+// distributed trainers feed it local + (possibly stale) remote partial
+// aggregates. `forward_from_aggregate` handles everything downstream of the
+// aggregation, and `backward_to_scaled` returns the degree-scaled upstream
+// gradient so the caller can push it back through the (local) adjacency.
+#pragma once
+
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/optim.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace distgnn {
+
+class GraphSageLayer {
+ public:
+  /// `apply_relu` is false on the output layer.
+  GraphSageLayer(std::size_t in_dim, std::size_t out_dim, bool apply_relu, Rng& rng);
+
+  /// H: input features (n x in); agg: complete (or partial, for 0c/cd-r)
+  /// neighbourhood sum (n x in); inv_norm: per-vertex 1/(deg+1) column
+  /// (n x 1); Y: output (n x out).
+  void forward_from_aggregate(ConstMatrixView H, ConstMatrixView agg, ConstMatrixView inv_norm,
+                              MatrixView Y);
+
+  /// Backward from dY to the *scaled* combined gradient
+  /// dscaled = inv_norm ⊙ d(combined) of shape (n x in). The caller finishes:
+  ///   dH = dscaled + A_localᵀ · dscaled
+  /// (self path + neighbour path). Parameter gradients accumulate internally.
+  void backward_to_scaled(ConstMatrixView dY, MatrixView dscaled);
+
+  void zero_grad() { linear_.zero_grad(); }
+  void collect_params(std::vector<ParamRef>& out);
+
+  std::size_t in_dim() const { return linear_.in_dim(); }
+  std::size_t out_dim() const { return linear_.out_dim(); }
+  Linear& linear() { return linear_; }
+  const Linear& linear() const { return linear_; }
+
+ private:
+  Linear linear_;
+  Relu relu_;
+  bool apply_relu_;
+  DenseMatrix combined_;   // (agg + H) * inv_norm, the Linear input
+  DenseMatrix z_;          // pre-activation
+  DenseMatrix dz_;         // scratch for backward
+  DenseMatrix inv_norm_;   // cached copy of the normalizer column
+};
+
+}  // namespace distgnn

@@ -1,0 +1,26 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace distgnn {
+
+void xavier_uniform(MatrixView w, std::size_t fan_in, std::size_t fan_out, Rng& rng) {
+  const real_t a = std::sqrt(6.0f / static_cast<real_t>(fan_in + fan_out));
+  uniform_init(w, -a, a, rng);
+}
+
+void uniform_init(MatrixView w, real_t lo, real_t hi, Rng& rng) {
+  for (std::size_t i = 0; i < w.rows; ++i) {
+    real_t* r = w.row(i);
+    for (std::size_t j = 0; j < w.cols; ++j) r[j] = rng.uniform(lo, hi);
+  }
+}
+
+void zero_init(MatrixView w) {
+  for (std::size_t i = 0; i < w.rows; ++i) {
+    real_t* r = w.row(i);
+    for (std::size_t j = 0; j < w.cols; ++j) r[j] = 0;
+  }
+}
+
+}  // namespace distgnn

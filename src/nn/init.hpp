@@ -1,0 +1,17 @@
+// Parameter initialization schemes.
+#pragma once
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace distgnn {
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(MatrixView w, std::size_t fan_in, std::size_t fan_out, Rng& rng);
+
+/// Uniform in [lo, hi).
+void uniform_init(MatrixView w, real_t lo, real_t hi, Rng& rng);
+
+void zero_init(MatrixView w);
+
+}  // namespace distgnn

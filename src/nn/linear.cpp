@@ -1,0 +1,42 @@
+#include "nn/linear.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/gemm.hpp"
+#include "nn/init.hpp"
+
+namespace distgnn {
+
+Linear::Linear(std::size_t in_dim, std::size_t out_dim, Rng& rng)
+    : weight_(in_dim, out_dim),
+      bias_(1, out_dim),
+      weight_grad_(in_dim, out_dim),
+      bias_grad_(1, out_dim) {
+  xavier_uniform(weight_.view(), in_dim, out_dim, rng);
+  zero_init(bias_.view());
+}
+
+void Linear::forward(ConstMatrixView X, MatrixView Y) {
+  if (X.cols != weight_.rows()) throw std::invalid_argument("Linear::forward: input width mismatch");
+  cached_input_.resize_discard(X.rows, X.cols);
+  std::copy(X.data, X.data + X.rows * X.cols, cached_input_.data());
+  gemm(X, weight_.cview(), Y);
+  add_row_bias(Y, bias_.cview());
+}
+
+void Linear::backward(ConstMatrixView dY, MatrixView dX) {
+  if (dY.rows != cached_input_.rows())
+    throw std::invalid_argument("Linear::backward: dY rows mismatch cached input");
+  // dW += X^T dY ; db += colsum(dY) ; dX = dY W^T
+  gemm_at_b(cached_input_.cview(), dY, weight_grad_.view(), /*accumulate=*/true);
+  column_sums(dY, bias_grad_.view(), /*accumulate=*/true);
+  if (!dX.empty()) gemm_a_bt(dY, weight_.cview(), dX);
+}
+
+void Linear::zero_grad() {
+  weight_grad_.zero();
+  bias_grad_.zero();
+}
+
+}  // namespace distgnn

@@ -1,0 +1,37 @@
+// Masked softmax cross-entropy for vertex classification. Loss is averaged
+// over the masked vertices; in distributed runs the trainer passes the
+// *global* masked count so that summing gradients over ranks with AllReduce
+// reproduces the exact single-socket gradient.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace distgnn {
+
+class SoftmaxCrossEntropy {
+ public:
+  /// Computes mean NLL over rows where mask != 0. `normalization` overrides
+  /// the divisor (use the global count across ranks); 0 means "local count".
+  /// Caches probabilities for backward. Returns the *sum* divided by the
+  /// divisor, i.e. sum_local / normalization.
+  double forward(ConstMatrixView logits, const std::vector<int>& labels,
+                 const std::vector<std::uint8_t>& mask, std::int64_t normalization = 0);
+
+  /// dLogits[v] = (softmax(v) - onehot(label_v)) / divisor for masked rows,
+  /// zero elsewhere.
+  void backward(MatrixView dLogits) const;
+
+  std::int64_t last_masked_count() const { return masked_count_; }
+
+ private:
+  DenseMatrix probs_;
+  std::vector<int> labels_;
+  std::vector<std::uint8_t> mask_;
+  std::int64_t masked_count_ = 0;
+  double divisor_ = 1.0;
+};
+
+}  // namespace distgnn

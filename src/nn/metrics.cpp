@@ -1,0 +1,24 @@
+#include "nn/metrics.hpp"
+
+#include <stdexcept>
+
+namespace distgnn {
+
+AccuracyCount masked_accuracy(ConstMatrixView logits, const std::vector<int>& labels,
+                              const std::vector<std::uint8_t>& mask) {
+  if (labels.size() != logits.rows || mask.size() != logits.rows)
+    throw std::invalid_argument("masked_accuracy: labels/mask size mismatch");
+  AccuracyCount out;
+  for (std::size_t v = 0; v < logits.rows; ++v) {
+    if (!mask[v]) continue;
+    const real_t* row = logits.row(v);
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < logits.cols; ++j)
+      if (row[j] > row[best]) best = j;
+    ++out.total;
+    if (static_cast<int>(best) == labels[v]) ++out.correct;
+  }
+  return out;
+}
+
+}  // namespace distgnn

@@ -1,0 +1,22 @@
+// Classification metrics over masked vertex sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace distgnn {
+
+struct AccuracyCount {
+  std::int64_t correct = 0;
+  std::int64_t total = 0;
+  double accuracy() const { return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total); }
+};
+
+/// argmax(logits[v]) == labels[v] over rows with mask != 0. Counts are
+/// returned (not the ratio) so distributed ranks can sum before dividing.
+AccuracyCount masked_accuracy(ConstMatrixView logits, const std::vector<int>& labels,
+                              const std::vector<std::uint8_t>& mask);
+
+}  // namespace distgnn

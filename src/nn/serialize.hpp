@@ -1,0 +1,26 @@
+// Model checkpointing: flat binary serialization of a parameter list. The
+// format is a magic header, the parameter count, then each parameter's size
+// and raw float data — enough to save a trained model, reload it into an
+// identically-constructed one, and resume or serve.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/optim.hpp"
+
+namespace distgnn {
+
+/// Writes every parameter's current values. Throws std::runtime_error on IO
+/// failure.
+void save_checkpoint(std::span<const ParamRef> params, const std::string& path);
+
+/// Loads values into `params`; the parameter count and each size must match
+/// the checkpoint exactly (mismatch throws std::runtime_error).
+void load_checkpoint(std::span<const ParamRef> params, const std::string& path);
+
+/// Header inspection without loading: per-parameter element counts.
+std::vector<std::size_t> checkpoint_shape(const std::string& path);
+
+}  // namespace distgnn

@@ -1,0 +1,64 @@
+#include "partition/halo_plan.hpp"
+
+#include <stdexcept>
+
+namespace distgnn {
+
+std::size_t HaloPlan::leaf_send_volume(int bin) const {
+  std::size_t total = 0;
+  for (const auto& pl : lists[static_cast<std::size_t>(bin)]) total += pl.send_leaf.size();
+  return total;
+}
+
+std::vector<HaloPlan> build_halo_plans(const PartitionedGraph& pg, int num_bins) {
+  if (num_bins < 1) throw std::invalid_argument("build_halo_plans: num_bins must be >= 1");
+
+  std::vector<HaloPlan> plans(static_cast<std::size_t>(pg.num_parts));
+  for (auto& plan : plans) {
+    plan.num_bins = num_bins;
+    plan.num_parts = pg.num_parts;
+    plan.lists.assign(static_cast<std::size_t>(num_bins),
+                      std::vector<HaloPeerLists>(static_cast<std::size_t>(pg.num_parts)));
+  }
+
+  // Collect clone locations per tree: (partition, local index, is_root).
+  struct Clone {
+    part_t part;
+    vid_t local;
+    bool root;
+  };
+  std::vector<std::vector<Clone>> tree_clones(static_cast<std::size_t>(pg.num_split_trees));
+  for (const LocalPartition& lp : pg.parts) {
+    for (vid_t local = 0; local < lp.num_vertices; ++local) {
+      const auto li = static_cast<std::size_t>(local);
+      if (!lp.is_split[li]) continue;
+      tree_clones[static_cast<std::size_t>(lp.tree_id[li])].push_back(
+          {lp.id, local, lp.is_root[li] != 0});
+    }
+  }
+
+  // Ascending tree order on both sides of every channel keeps the gather and
+  // scatter index lists aligned.
+  for (std::int64_t t = 0; t < pg.num_split_trees; ++t) {
+    const auto& clones = tree_clones[static_cast<std::size_t>(t)];
+    const int bin = static_cast<int>(t % num_bins);
+    const Clone* root = nullptr;
+    for (const Clone& c : clones)
+      if (c.root) root = &c;
+    if (root == nullptr)
+      throw std::logic_error("build_halo_plans: split tree without a root clone");
+
+    for (const Clone& leaf : clones) {
+      if (leaf.root) continue;
+      auto& leaf_plan = plans[static_cast<std::size_t>(leaf.part)].lists[static_cast<std::size_t>(bin)];
+      auto& root_plan = plans[static_cast<std::size_t>(root->part)].lists[static_cast<std::size_t>(bin)];
+      leaf_plan[static_cast<std::size_t>(root->part)].send_leaf.push_back(leaf.local);
+      root_plan[static_cast<std::size_t>(leaf.part)].recv_root.push_back(root->local);
+      root_plan[static_cast<std::size_t>(leaf.part)].send_root.push_back(root->local);
+      leaf_plan[static_cast<std::size_t>(root->part)].recv_leaf.push_back(leaf.local);
+    }
+  }
+  return plans;
+}
+
+}  // namespace distgnn

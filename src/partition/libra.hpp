@@ -1,0 +1,46 @@
+// Libra-style vertex-cut graph partitioning (§5.1 of the paper, after
+// Xie et al., "Distributed Power-law Graph Computing").
+//
+// Edges are distributed over partitions; a vertex whose edges land in
+// several partitions is *split* and replicated there. Libra's greedy rule
+// assigns each edge to the least-loaded partition among those already
+// holding one of its endpoints (falling back to the globally least-loaded),
+// which keeps the replication factor low on power-law graphs while producing
+// near-perfectly edge-balanced partitions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/coo.hpp"
+#include "util/types.hpp"
+
+namespace distgnn {
+
+/// Result of any edge partitioner: the owning partition of every edge.
+struct EdgePartition {
+  part_t num_parts = 0;
+  std::vector<part_t> edge_owner;       // |E| entries
+  std::vector<eid_t> edges_per_part;    // histogram, num_parts entries
+};
+
+enum class PartitionStrategy {
+  kLibra,       // greedy vertex-cut (the paper's choice)
+  kRandom,      // uniform random edge assignment (worst-case replication)
+  kSourceHash,  // hash(src) — an edge-cut-like 1D baseline
+  kRange,       // contiguous source ranges — locality-preserving 1D baseline
+};
+
+/// Partitions `edges` into `num_parts` using the Libra greedy vertex-cut.
+/// Deterministic for a fixed seed (ties are broken by partition index).
+EdgePartition partition_libra(const EdgeList& edges, part_t num_parts, std::uint64_t seed = 0);
+
+/// Baseline partitioners for comparison benches.
+EdgePartition partition_random(const EdgeList& edges, part_t num_parts, std::uint64_t seed = 0);
+EdgePartition partition_source_hash(const EdgeList& edges, part_t num_parts);
+EdgePartition partition_range(const EdgeList& edges, part_t num_parts);
+
+EdgePartition partition_edges(const EdgeList& edges, part_t num_parts, PartitionStrategy strategy,
+                              std::uint64_t seed = 0);
+
+}  // namespace distgnn

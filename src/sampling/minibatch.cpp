@@ -1,0 +1,74 @@
+#include "sampling/minibatch.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sampling/neighbor_sampler.hpp"
+
+namespace distgnn {
+
+eid_t MiniBatch::total_sampled_edges() const {
+  eid_t total = 0;
+  for (const auto& b : blocks) total += b.num_sampled_edges();
+  return total;
+}
+
+MiniBatch sample_minibatch(const CsrMatrix& in_csr, std::span<const vid_t> seeds,
+                           std::span<const int> fanouts, Rng& rng) {
+  MiniBatch mb;
+  mb.seeds.assign(seeds.begin(), seeds.end());
+
+  // Build output-most hop first, then reverse into forward order.
+  std::vector<SampledBlock> reversed;
+  std::vector<vid_t> frontier = mb.seeds;
+  std::vector<vid_t> sampled;
+
+  for (std::size_t hop = 0; hop < fanouts.size(); ++hop) {
+    const int fanout = fanouts[fanouts.size() - 1 - hop];  // output-most first
+    SampledBlock block;
+    block.num_dst = static_cast<vid_t>(frontier.size());
+    block.row_ptr.assign(frontier.size() + 1, 0);
+
+    // Source vertex list starts with the destinations (self rows line up).
+    std::vector<vid_t> src_vertices = frontier;
+    std::unordered_map<vid_t, vid_t> src_index;
+    src_index.reserve(2 * frontier.size());
+    for (std::size_t i = 0; i < src_vertices.size(); ++i)
+      src_index.emplace(src_vertices[i], static_cast<vid_t>(i));
+
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      sampled.clear();
+      sample_neighbors(in_csr, frontier[i], fanout, rng, sampled);
+      for (const vid_t u : sampled) {
+        auto [it, inserted] = src_index.emplace(u, static_cast<vid_t>(src_vertices.size()));
+        if (inserted) src_vertices.push_back(u);
+        block.col.push_back(it->second);
+      }
+      block.row_ptr[i + 1] = static_cast<eid_t>(block.col.size());
+    }
+    block.num_src = static_cast<vid_t>(src_vertices.size());
+    reversed.push_back(std::move(block));
+    frontier = std::move(src_vertices);
+  }
+
+  mb.input_vertices = std::move(frontier);
+  mb.blocks.assign(std::make_move_iterator(reversed.rbegin()),
+                   std::make_move_iterator(reversed.rend()));
+  return mb;
+}
+
+std::vector<std::vector<vid_t>> make_batches(std::span<const vid_t> vertices, vid_t batch_size,
+                                             Rng& rng) {
+  std::vector<vid_t> shuffled(vertices.begin(), vertices.end());
+  for (std::size_t i = shuffled.size(); i > 1; --i)
+    std::swap(shuffled[i - 1], shuffled[rng.next_below(i)]);
+  std::vector<std::vector<vid_t>> batches;
+  for (std::size_t begin = 0; begin < shuffled.size(); begin += static_cast<std::size_t>(batch_size)) {
+    const std::size_t end = std::min(shuffled.size(), begin + static_cast<std::size_t>(batch_size));
+    batches.emplace_back(shuffled.begin() + static_cast<std::ptrdiff_t>(begin),
+                         shuffled.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return batches;
+}
+
+}  // namespace distgnn

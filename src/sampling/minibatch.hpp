@@ -1,0 +1,50 @@
+// Multi-hop sampled mini-batch construction (DGL "blocks").
+//
+// Starting from a batch of seed vertices, each hop samples a fixed fan-out of
+// in-neighbours, producing one bipartite block per GNN layer. Blocks are
+// stored input-most first so the trainer iterates them in forward order. By
+// construction, each block's destination vertices are the first `num_dst`
+// entries of its source vertex list, so layer outputs line up row-for-row
+// with the next block's inputs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace distgnn {
+
+struct SampledBlock {
+  vid_t num_dst = 0;  // rows; also the first num_dst entries of src_vertices
+  vid_t num_src = 0;
+  std::vector<eid_t> row_ptr;  // num_dst + 1
+  std::vector<vid_t> col;      // indices into this block's source vertex list
+
+  std::span<const vid_t> neighbors(vid_t dst) const {
+    return {col.data() + row_ptr[static_cast<std::size_t>(dst)],
+            static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(dst) + 1] -
+                                     row_ptr[static_cast<std::size_t>(dst)])};
+  }
+  eid_t num_sampled_edges() const { return static_cast<eid_t>(col.size()); }
+};
+
+struct MiniBatch {
+  std::vector<SampledBlock> blocks;        // input-most first (forward order)
+  std::vector<vid_t> input_vertices;       // global ids feeding blocks[0]
+  std::vector<vid_t> seeds;                // global ids of the output layer
+  /// Σ over blocks of sampled edges — the "aggregation work" unit of Table 7.
+  eid_t total_sampled_edges() const;
+};
+
+/// fanouts are given input-most first (fanouts[0] = deepest hop), matching
+/// the block order of the result.
+MiniBatch sample_minibatch(const CsrMatrix& in_csr, std::span<const vid_t> seeds,
+                           std::span<const int> fanouts, Rng& rng);
+
+/// Splits `vertices` into shuffled batches of `batch_size` (last one ragged).
+std::vector<std::vector<vid_t>> make_batches(std::span<const vid_t> vertices, vid_t batch_size,
+                                             Rng& rng);
+
+}  // namespace distgnn

@@ -1,0 +1,28 @@
+#include "sampling/neighbor_sampler.hpp"
+
+#include <algorithm>
+
+namespace distgnn {
+
+void sample_neighbors(const CsrMatrix& in_csr, vid_t v, int fanout, Rng& rng,
+                      std::vector<vid_t>& out) {
+  const auto nbrs = in_csr.neighbors(v);
+  const auto deg = static_cast<std::int64_t>(nbrs.size());
+  if (deg <= fanout) {
+    out.insert(out.end(), nbrs.begin(), nbrs.end());
+    return;
+  }
+  // Floyd's algorithm: k distinct indices from [0, deg) in O(k) expected.
+  std::vector<vid_t> picked;
+  picked.reserve(static_cast<std::size_t>(fanout));
+  std::vector<std::int64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(fanout));
+  for (std::int64_t j = deg - fanout; j < deg; ++j) {
+    std::int64_t t = static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(j + 1)));
+    if (std::find(chosen.begin(), chosen.end(), t) != chosen.end()) t = j;
+    chosen.push_back(t);
+    out.push_back(nbrs[static_cast<std::size_t>(t)]);
+  }
+}
+
+}  // namespace distgnn

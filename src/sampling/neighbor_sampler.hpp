@@ -1,0 +1,19 @@
+// Uniform neighbourhood sampling — the Dist-DGL-style mini-batch substrate
+// the paper compares against in Tables 7-9. Samples up to `fanout` distinct
+// in-neighbours per vertex.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace distgnn {
+
+/// Appends up to `fanout` distinct in-neighbours of `v` to `out`. When the
+/// degree is <= fanout all neighbours are taken (DGL semantics).
+void sample_neighbors(const CsrMatrix& in_csr, vid_t v, int fanout, Rng& rng,
+                      std::vector<vid_t>& out);
+
+}  // namespace distgnn

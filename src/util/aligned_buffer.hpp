@@ -1,0 +1,84 @@
+// Cache-line aligned, value-initialized flat buffer used for feature
+// matrices. Avoids false sharing between OpenMP threads that own adjacent
+// destination rows and keeps SIMD loads aligned.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+#include "util/types.hpp"
+
+namespace distgnn {
+
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t n, T fill = T{}) { assign(n, fill); }
+
+  AlignedBuffer(const AlignedBuffer& other) { *this = other; }
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) {
+      allocate(other.size_);
+      if (other.size_ > 0) std::memcpy(data_.get(), other.data_.get(), other.size_ * sizeof(T));
+    }
+    return *this;
+  }
+
+  AlignedBuffer(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer& operator=(AlignedBuffer&&) noexcept = default;
+
+  void assign(std::size_t n, T fill = T{}) {
+    allocate(n);
+    for (std::size_t i = 0; i < n; ++i) data_[i] = fill;
+  }
+
+  /// Resize without preserving contents (feature matrices are always fully
+  /// rewritten by the kernels that use them).
+  void resize_discard(std::size_t n, T fill = T{}) { assign(n, fill); }
+
+  void fill(T value) {
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = value;
+  }
+
+  T* data() noexcept { return data_.get(); }
+  const T* data() const noexcept { return data_.get(); }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  T* begin() noexcept { return data_.get(); }
+  T* end() noexcept { return data_.get() + size_; }
+  const T* begin() const noexcept { return data_.get(); }
+  const T* end() const noexcept { return data_.get() + size_; }
+
+ private:
+  struct FreeDeleter {
+    void operator()(T* p) const noexcept { std::free(p); }
+  };
+
+  void allocate(std::size_t n) {
+    if (n == 0) {
+      data_.reset();
+      size_ = 0;
+      return;
+    }
+    const std::size_t bytes = ((n * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes) * kCacheLineBytes;
+    void* p = std::aligned_alloc(kCacheLineBytes, bytes);
+    if (p == nullptr) throw std::bad_alloc{};
+    data_.reset(static_cast<T*>(p));
+    size_ = n;
+  }
+
+  std::unique_ptr<T[], FreeDeleter> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace distgnn

@@ -1,0 +1,50 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace distgnn {
+
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
+std::once_flag g_env_once;
+std::mutex g_write_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void init_from_env() {
+  const char* env = std::getenv("DISTGNN_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) g_threshold = LogLevel::kDebug;
+  else if (std::strcmp(env, "info") == 0) g_threshold = LogLevel::kInfo;
+  else if (std::strcmp(env, "warn") == 0) g_threshold = LogLevel::kWarn;
+  else if (std::strcmp(env, "error") == 0) g_threshold = LogLevel::kError;
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  std::call_once(g_env_once, init_from_env);
+  return g_threshold.load(std::memory_order_relaxed);
+}
+
+void set_log_threshold(LogLevel level) { g_threshold.store(level, std::memory_order_relaxed); }
+
+void log_line(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[distgnn %-5s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace distgnn

@@ -1,0 +1,46 @@
+// Minimal leveled logging. The distributed runtime prefixes messages with the
+// rank so interleaved output from simulated sockets stays attributable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace distgnn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Defaults to kInfo and can
+/// be overridden with the DISTGNN_LOG environment variable (debug/info/warn/error).
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+/// Thread-safe write of one formatted line to stderr.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void log_append(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void log_append(std::ostringstream& out, const T& v, const Rest&... rest) {
+  out << v;
+  log_append(out, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_threshold()) return;
+  std::ostringstream out;
+  detail::log_append(out, args...);
+  log_line(level, out.str());
+}
+
+template <typename... Args>
+void log_info(const Args&... args) { log(LogLevel::kInfo, args...); }
+template <typename... Args>
+void log_debug(const Args&... args) { log(LogLevel::kDebug, args...); }
+template <typename... Args>
+void log_warn(const Args&... args) { log(LogLevel::kWarn, args...); }
+template <typename... Args>
+void log_error(const Args&... args) { log(LogLevel::kError, args...); }
+
+}  // namespace distgnn

@@ -1,0 +1,92 @@
+// Row-major dense matrix over an aligned buffer, plus lightweight views.
+// This is the feature-matrix currency between the graph kernels and the
+// neural-network stack: fV, fE and fO in the paper's Aggregation Primitive
+// are all DenseMatrix / MatrixView instances.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+#include "util/aligned_buffer.hpp"
+#include "util/types.hpp"
+
+namespace distgnn {
+
+/// Mutable non-owning view of a row-major matrix.
+struct MatrixView {
+  real_t* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  real_t* row(std::size_t r) noexcept {
+    assert(r < rows);
+    return data + r * cols;
+  }
+  const real_t* row(std::size_t r) const noexcept {
+    assert(r < rows);
+    return data + r * cols;
+  }
+  real_t& at(std::size_t r, std::size_t c) noexcept { return row(r)[c]; }
+  real_t at(std::size_t r, std::size_t c) const noexcept { return row(r)[c]; }
+  std::size_t size() const noexcept { return rows * cols; }
+  bool empty() const noexcept { return data == nullptr || size() == 0; }
+};
+
+/// Read-only non-owning view.
+struct ConstMatrixView {
+  const real_t* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  ConstMatrixView() = default;
+  ConstMatrixView(const real_t* d, std::size_t r, std::size_t c) : data(d), rows(r), cols(c) {}
+  ConstMatrixView(const MatrixView& v) : data(v.data), rows(v.rows), cols(v.cols) {}  // NOLINT
+
+  const real_t* row(std::size_t r) const noexcept {
+    assert(r < rows);
+    return data + r * cols;
+  }
+  real_t at(std::size_t r, std::size_t c) const noexcept { return row(r)[c]; }
+  std::size_t size() const noexcept { return rows * cols; }
+  bool empty() const noexcept { return data == nullptr || size() == 0; }
+};
+
+/// Owning row-major matrix with cache-line aligned storage.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, real_t fill = 0)
+      : rows_(rows), cols_(cols), buf_(rows * cols, fill) {}
+
+  void resize_discard(std::size_t rows, std::size_t cols, real_t fill = 0) {
+    rows_ = rows;
+    cols_ = cols;
+    buf_.resize_discard(rows * cols, fill);
+  }
+
+  void fill(real_t value) { buf_.fill(value); }
+  void zero() { buf_.fill(0); }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return rows_ * cols_; }
+  bool empty() const noexcept { return size() == 0; }
+
+  real_t* data() noexcept { return buf_.data(); }
+  const real_t* data() const noexcept { return buf_.data(); }
+  real_t* row(std::size_t r) noexcept { return buf_.data() + r * cols_; }
+  const real_t* row(std::size_t r) const noexcept { return buf_.data() + r * cols_; }
+  real_t& at(std::size_t r, std::size_t c) noexcept { return row(r)[c]; }
+  real_t at(std::size_t r, std::size_t c) const noexcept { return row(r)[c]; }
+
+  MatrixView view() noexcept { return {buf_.data(), rows_, cols_}; }
+  ConstMatrixView view() const noexcept { return {buf_.data(), rows_, cols_}; }
+  ConstMatrixView cview() const noexcept { return {buf_.data(), rows_, cols_}; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  AlignedBuffer<real_t> buf_;
+};
+
+}  // namespace distgnn

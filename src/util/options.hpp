@@ -1,0 +1,29 @@
+// Tiny command-line option parser shared by the examples and bench binaries.
+// Supports --key=value and --key value forms plus boolean --flag.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace distgnn {
+
+class Options {
+ public:
+  Options(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Positional (non --key) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace distgnn

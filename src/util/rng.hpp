@@ -1,0 +1,77 @@
+// Deterministic, seedable PRNG (xoshiro256**). Used everywhere instead of
+// std::mt19937 so that graph generation and training are reproducible across
+// standard-library implementations and fast enough for billion-edge streams.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace distgnn {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection-free-enough bounded generator.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform float in [0, 1).
+  float next_float() { return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f; }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) { return lo + (hi - lo) * next_float(); }
+
+  /// Standard normal via Box-Muller (one value per call; simple and adequate).
+  float normal() {
+    float u1 = next_float();
+    while (u1 <= 1e-12f) u1 = next_float();
+    const float u2 = next_float();
+    return std::sqrt(-2.0f * std::log(u1)) * std::cos(6.28318530717958647692f * u2);
+  }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles work.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace distgnn

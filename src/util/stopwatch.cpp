@@ -1,0 +1,5 @@
+#include "util/stopwatch.hpp"
+
+// Header-only in practice; this TU anchors the library and keeps the door
+// open for out-of-line additions without touching every dependent target.
+namespace distgnn {}

@@ -1,0 +1,51 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace distgnn {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render(const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream out;
+  if (!title.empty()) out << title << '\n';
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << "| " << cells[c];
+      out << std::string(width[c] - cells[c].size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    out << '|' << std::string(width[c] + 2, '-');
+  out << "|\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TextTable::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::fmt_int(long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  return buf;
+}
+
+}  // namespace distgnn

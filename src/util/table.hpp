@@ -1,0 +1,33 @@
+// Plain-text table rendering for the benchmark harness. Every bench binary
+// prints the same rows/columns as the corresponding table or figure of the
+// paper; this class handles alignment so the output is diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace distgnn {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment, a header underline and optional title.
+  std::string render(const std::string& title = "") const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with the given precision, trimming trailing zeros is
+  /// deliberately *not* done so columns line up.
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt_int(long long value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace distgnn

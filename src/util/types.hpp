@@ -1,0 +1,32 @@
+// Fundamental index and scalar types shared by every DistGNN module.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace distgnn {
+
+/// Vertex identifier. Signed 64-bit so that graphs with >2^31 vertices
+/// (OGBN-Papers scale) are representable and so that -1 can mark "absent".
+using vid_t = std::int64_t;
+
+/// Edge identifier, indexes into edge-feature storage.
+using eid_t = std::int64_t;
+
+/// Partition / rank identifier.
+using part_t = std::int32_t;
+
+/// Scalar type of all feature matrices. The paper trains in FP32 and lists
+/// FP16/BF16 as future work; see core/precision.hpp for the emulated
+/// low-precision extension.
+using real_t = float;
+
+inline constexpr vid_t kInvalidVertex = -1;
+inline constexpr eid_t kInvalidEdge = -1;
+inline constexpr part_t kInvalidPart = -1;
+
+/// Bytes in one hardware cache line; used by the cache simulator and the
+/// aligned allocator.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+}  // namespace distgnn

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "nn/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace distgnn {
+namespace {
+
+TEST(ConnectedComponents, FindsIslands) {
+  EdgeList el;
+  el.num_vertices = 7;
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(3, 4);
+  // 5 and 6 are isolated singletons.
+  const Graph g(el);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.num_components, 4);
+  EXPECT_EQ(c.component_of[0], c.component_of[2]);
+  EXPECT_EQ(c.component_of[3], c.component_of[4]);
+  EXPECT_NE(c.component_of[0], c.component_of[3]);
+  EXPECT_NE(c.component_of[5], c.component_of[6]);
+  vid_t total = 0;
+  for (const vid_t s : c.sizes) total += s;
+  EXPECT_EQ(total, 7);
+}
+
+TEST(ConnectedComponents, DirectionIgnored) {
+  EdgeList el;
+  el.num_vertices = 3;
+  el.add(2, 0);  // only one direction
+  el.add(1, 0);
+  const Components c = connected_components(Graph(el));
+  EXPECT_EQ(c.num_components, 1);
+}
+
+TEST(BfsDistances, HopCountsAndUnreachable) {
+  EdgeList el;
+  el.num_vertices = 5;
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(2, 3);
+  // 4 unreachable from 0.
+  const Graph g(el);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], 3);
+  EXPECT_EQ(dist[4], -1);
+}
+
+TEST(BfsDistances, TakesShortestPath) {
+  EdgeList el;
+  el.num_vertices = 4;
+  el.add(0, 1);
+  el.add(1, 3);
+  el.add(0, 3);  // shortcut
+  const auto dist = bfs_distances(Graph(el), 0);
+  EXPECT_EQ(dist[3], 1);
+}
+
+TEST(InducedSubgraph, KeepsOnlyInternalEdges) {
+  EdgeList el;
+  el.num_vertices = 5;
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(2, 3);
+  el.add(3, 4);
+  const Graph g(el);
+  const InducedSubgraph sub = induced_subgraph(g, {1, 2, 4});
+  EXPECT_EQ(sub.edges.num_vertices, 3);
+  ASSERT_EQ(sub.edges.edges.size(), 1u);  // only 1->2 survives
+  EXPECT_EQ(sub.global_ids[static_cast<std::size_t>(sub.edges.edges[0].src)], 1);
+  EXPECT_EQ(sub.global_ids[static_cast<std::size_t>(sub.edges.edges[0].dst)], 2);
+}
+
+TEST(CoreNumbers, CliquePlusTail) {
+  // 4-clique (core 3 with both directions counting: here we add single
+  // directions, so undirected degree within the clique is 3) plus a pendant.
+  EdgeList el;
+  el.num_vertices = 5;
+  for (vid_t a = 0; a < 4; ++a)
+    for (vid_t b = a + 1; b < 4; ++b) el.add(a, b);
+  el.add(0, 4);  // pendant vertex
+  const auto core = core_numbers(Graph(el));
+  EXPECT_EQ(core[4], 1);
+  for (vid_t v = 0; v < 4; ++v) EXPECT_EQ(core[v], 3) << "clique vertex " << v;
+}
+
+TEST(CoreNumbers, PathGraphIsOneCore) {
+  EdgeList el;
+  el.num_vertices = 6;
+  for (vid_t v = 0; v + 1 < 6; ++v) el.add(v, v + 1);
+  const auto core = core_numbers(Graph(el));
+  for (const vid_t c : core) EXPECT_EQ(c, 1);
+}
+
+TEST(CoreNumbers, MonotoneUnderDensification) {
+  const Graph sparse(generate_erdos_renyi(256, 512, 1));
+  const Graph dense(generate_erdos_renyi(256, 4096, 1));
+  const auto cs = core_numbers(sparse);
+  const auto cd = core_numbers(dense);
+  const double mean_sparse =
+      static_cast<double>(std::accumulate(cs.begin(), cs.end(), vid_t{0})) / 256.0;
+  const double mean_dense =
+      static_cast<double>(std::accumulate(cd.begin(), cd.end(), vid_t{0})) / 256.0;
+  EXPECT_GT(mean_dense, mean_sparse);
+}
+
+// ---- checkpointing ----
+
+TEST(Checkpoint, RoundTripsParameters) {
+  Rng rng(1);
+  std::vector<real_t> a(37), b(5), ga(37), gb(5);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  const std::vector<real_t> a0 = a, b0 = b;
+  std::vector<ParamRef> params{{a.data(), ga.data(), a.size()}, {b.data(), gb.data(), b.size()}};
+
+  const std::string path = ::testing::TempDir() + "/model.ckpt";
+  save_checkpoint(params, path);
+  for (auto& v : a) v = 0;
+  for (auto& v : b) v = 0;
+  load_checkpoint(params, path);
+  EXPECT_EQ(a, a0);
+  EXPECT_EQ(b, b0);
+
+  const auto shape = checkpoint_shape(path);
+  EXPECT_EQ(shape, (std::vector<std::size_t>{37, 5}));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsShapeMismatch) {
+  std::vector<real_t> a(4), ga(4);
+  std::vector<ParamRef> params{{a.data(), ga.data(), a.size()}};
+  const std::string path = ::testing::TempDir() + "/model2.ckpt";
+  save_checkpoint(params, path);
+
+  std::vector<real_t> wrong(5), gw(5);
+  std::vector<ParamRef> wrong_params{{wrong.data(), gw.data(), wrong.size()}};
+  EXPECT_THROW(load_checkpoint(wrong_params, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  std::vector<ParamRef> params;
+  EXPECT_THROW(load_checkpoint(params, "/nonexistent/m.ckpt"), std::runtime_error);
+  EXPECT_THROW(checkpoint_shape("/nonexistent/m.ckpt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace distgnn

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "cachesim/lru_cache.hpp"
+
+namespace distgnn {
+namespace {
+
+constexpr int kSpace = 0;
+
+TEST(LruCache, MissThenHit) {
+  LruCache cache(4 * 64, 64);  // 4 objects
+  EXPECT_FALSE(cache.access(kSpace, 1, false));
+  EXPECT_TRUE(cache.access(kSpace, 1, false));
+  EXPECT_EQ(cache.stats(kSpace).accesses, 2u);
+  EXPECT_EQ(cache.stats(kSpace).misses, 1u);
+  EXPECT_EQ(cache.stats(kSpace).bytes_read, 64u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache cache(2 * 64, 64);  // 2 objects
+  cache.access(kSpace, 1, false);
+  cache.access(kSpace, 2, false);
+  cache.access(kSpace, 1, false);  // 1 is now MRU
+  cache.access(kSpace, 3, false);  // evicts 2
+  EXPECT_TRUE(cache.access(kSpace, 1, false));
+  EXPECT_FALSE(cache.access(kSpace, 2, false));
+}
+
+TEST(LruCache, DirtyEvictionChargesWriteback) {
+  LruCache cache(1 * 64, 64);
+  cache.access(kSpace, 1, true);   // dirty
+  cache.access(kSpace, 2, false);  // evicts 1 -> writeback
+  EXPECT_EQ(cache.stats(kSpace).bytes_written, 64u);
+}
+
+TEST(LruCache, CleanEvictionWritesNothing) {
+  LruCache cache(1 * 64, 64);
+  cache.access(kSpace, 1, false);
+  cache.access(kSpace, 2, false);
+  EXPECT_EQ(cache.stats(kSpace).bytes_written, 0u);
+}
+
+TEST(LruCache, FlushWritesDirtyObjects) {
+  LruCache cache(8 * 64, 64);
+  cache.access(kSpace, 1, true);
+  cache.access(kSpace, 2, true);
+  cache.access(kSpace, 3, false);
+  cache.flush();
+  EXPECT_EQ(cache.stats(kSpace).bytes_written, 2 * 64u);
+  // Everything gone after flush.
+  EXPECT_FALSE(cache.access(kSpace, 1, false));
+}
+
+TEST(LruCache, WriteHitMarksDirty) {
+  LruCache cache(8 * 64, 64);
+  cache.access(kSpace, 1, false);  // clean fill
+  cache.access(kSpace, 1, true);   // hit, becomes dirty
+  cache.flush();
+  EXPECT_EQ(cache.stats(kSpace).bytes_written, 64u);
+}
+
+TEST(LruCache, SpacesShareCapacityButNotStats) {
+  LruCache cache(2 * 64, 64);
+  cache.access(0, 1, false);
+  cache.access(1, 1, false);  // distinct object (different space)
+  cache.access(0, 2, false);  // evicts space-0 key 1 (LRU)
+  EXPECT_FALSE(cache.access(0, 1, false));
+  EXPECT_EQ(cache.stats(1).accesses, 1u);
+  EXPECT_EQ(cache.stats(0).accesses, 3u);
+}
+
+TEST(LruCache, ReuseMetric) {
+  LruCache cache(16 * 64, 64);
+  for (int pass = 0; pass < 5; ++pass)
+    for (std::uint64_t k = 0; k < 8; ++k) cache.access(kSpace, k, false);
+  // 8 misses, 40 accesses -> reuse 5.
+  EXPECT_DOUBLE_EQ(cache.stats(kSpace).reuse(), 5.0);
+  EXPECT_DOUBLE_EQ(cache.stats(kSpace).hit_rate(), 32.0 / 40.0);
+}
+
+TEST(LruCache, ThrashingWorkingSetHasNoReuse) {
+  LruCache cache(4 * 64, 64);
+  for (int pass = 0; pass < 5; ++pass)
+    for (std::uint64_t k = 0; k < 64; ++k) cache.access(kSpace, k, false);
+  // Working set 16x capacity with sequential sweeps: every access misses.
+  EXPECT_DOUBLE_EQ(cache.stats(kSpace).reuse(), 1.0);
+}
+
+TEST(LruCache, ResetClearsEverything) {
+  LruCache cache(4 * 64, 64);
+  cache.access(kSpace, 1, true);
+  cache.reset();
+  EXPECT_EQ(cache.stats(kSpace).accesses, 0u);
+  EXPECT_EQ(cache.combined_stats().bytes_read, 0u);
+}
+
+TEST(LruCache, CombinedStatsSumSpaces) {
+  LruCache cache(8 * 64, 64);
+  cache.access(0, 1, false);
+  cache.access(1, 2, false);
+  cache.access(1, 2, false);
+  const CacheStats all = cache.combined_stats();
+  EXPECT_EQ(all.accesses, 3u);
+  EXPECT_EQ(all.misses, 2u);
+}
+
+TEST(LruCache, CapacityAtLeastOneObject) {
+  LruCache cache(10, 64);  // capacity smaller than one object
+  EXPECT_EQ(cache.capacity_objects(), 1u);
+  cache.access(kSpace, 1, false);
+  cache.access(kSpace, 2, false);
+  EXPECT_EQ(cache.stats(kSpace).misses, 2u);
+}
+
+}  // namespace
+}  // namespace distgnn

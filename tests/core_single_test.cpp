@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/memory_model.hpp"
+#include "core/single_socket_trainer.hpp"
+#include "core/work_model.hpp"
+#include "graph/datasets.hpp"
+
+namespace distgnn {
+namespace {
+
+Dataset learnable(vid_t n = 1024, int classes = 4, float noise = 0.8f, std::uint64_t seed = 11) {
+  LearnableSbmParams p;
+  p.num_vertices = n;
+  p.num_classes = classes;
+  p.avg_degree = 12;
+  p.feature_dim = 16;
+  p.feature_noise = noise;
+  p.seed = seed;
+  return make_learnable_sbm(p);
+}
+
+TrainConfig small_config() {
+  TrainConfig cfg;
+  cfg.num_layers = 2;
+  cfg.hidden_dim = 32;
+  cfg.lr = 0.2;
+  cfg.epochs = 30;
+  return cfg;
+}
+
+TEST(SingleSocket, LossDecreases) {
+  const Dataset ds = learnable();
+  SingleSocketTrainer trainer(ds, small_config());
+  const double first = trainer.train_epoch().loss;
+  double last = first;
+  for (int e = 0; e < 25; ++e) last = trainer.train_epoch().loss;
+  EXPECT_LT(last, 0.5 * first);
+}
+
+TEST(SingleSocket, LearnsSbmAboveChance) {
+  const Dataset ds = learnable(1024, 4, 0.5f);
+  SingleSocketTrainer trainer(ds, small_config());
+  for (int e = 0; e < 40; ++e) trainer.train_epoch();
+  EXPECT_GT(trainer.evaluate(ds.test_mask), 0.7);  // chance 0.25
+}
+
+TEST(SingleSocket, BaselineAndOptimizedApAgree) {
+  // Same seed, same data: the loss trajectory must match closely; the AP
+  // implementations only differ in summation order.
+  const Dataset ds = learnable(512, 4, 0.8f, 21);
+  TrainConfig cfg = small_config();
+  cfg.epochs = 5;
+
+  cfg.ap_mode = ApMode::kOptimized;
+  SingleSocketTrainer opt(ds, cfg);
+  cfg.ap_mode = ApMode::kBaseline;
+  SingleSocketTrainer base(ds, cfg);
+  for (int e = 0; e < 5; ++e) {
+    const double lo = opt.train_epoch().loss;
+    const double lb = base.train_epoch().loss;
+    EXPECT_NEAR(lo, lb, 1e-3 * std::max(1.0, std::abs(lb))) << "epoch " << e;
+  }
+}
+
+TEST(SingleSocket, DeterministicForSeed) {
+  const Dataset ds = learnable(512, 4, 0.8f, 22);
+  const TrainConfig cfg = small_config();
+  SingleSocketTrainer a(ds, cfg), b(ds, cfg);
+  for (int e = 0; e < 3; ++e) EXPECT_DOUBLE_EQ(a.train_epoch().loss, b.train_epoch().loss);
+}
+
+TEST(SingleSocket, PhaseTimesSumBelowTotal) {
+  const Dataset ds = learnable(512);
+  SingleSocketTrainer trainer(ds, small_config());
+  const EpochStats stats = trainer.train_epoch();
+  EXPECT_GT(stats.ap_seconds, 0.0);
+  EXPECT_GT(stats.mlp_seconds, 0.0);
+  EXPECT_LE(stats.ap_seconds + stats.mlp_seconds, stats.total_seconds * 1.05);
+}
+
+TEST(SingleSocket, ExplicitBlockCountHonored) {
+  const Dataset ds = learnable(512);
+  TrainConfig cfg = small_config();
+  cfg.num_blocks = 7;
+  SingleSocketTrainer trainer(ds, cfg);
+  EXPECT_EQ(trainer.effective_num_blocks(), 7);
+}
+
+// ---- Table 7 / 8 work model, validated against the paper's own numbers ----
+
+TEST(WorkModel, Table7PaperNumbers) {
+  // Table 7 rows: hop-2 (233,692 vertices, deg 5, 100 feats), hop-1 (30,214,
+  // deg 10, 256), hop-0 (2,000, deg 15, 256).
+  const std::vector<HopWork> hops{
+      {"Hop-2", 233'692, 5, 100},
+      {"Hop-1", 30'214, 10, 256},
+      {"Hop-0", 2'000, 15, 256},
+  };
+  EXPECT_NEAR(hops[0].giga_ops(), 0.116, 0.002);
+  EXPECT_NEAR(hops[1].giga_ops(), 0.077, 0.002);
+  EXPECT_NEAR(hops[2].giga_ops(), 0.007, 0.001);
+
+  // 196,615 training vertices, batch 2000 -> 99 batches on one socket.
+  const MiniBatchWork single = minibatch_work(hops, 196'615, 2'000, 1);
+  EXPECT_EQ(single.batches_per_socket, 99);
+  EXPECT_NEAR(single.socket_ops / 1e9, 19.98, 0.3);
+
+  const MiniBatchWork sixteen = minibatch_work(hops, 196'615, 2'000, 16);
+  EXPECT_EQ(sixteen.batches_per_socket, 7);
+  EXPECT_NEAR(sixteen.socket_ops / 1e9, 1.41, 0.05);
+}
+
+TEST(WorkModel, Table8PaperNumbers) {
+  // Full batch on OGBN-Products: 2,449,029 vertices, avg degree 51.5,
+  // feats {100, 256, 256}.
+  const FullBatchWork one = fullbatch_work(2'449'029, 51.5, {100, 256, 256});
+  EXPECT_NEAR(one.socket_ops / 1e9, 77.19, 0.5);
+  ASSERT_EQ(one.hops.size(), 3u);
+  EXPECT_NEAR(one.hops[0].giga_ops(), 12.61, 0.1);
+  EXPECT_NEAR(one.hops[1].giga_ops(), 32.29, 0.1);
+
+  const FullBatchWork sixteen = fullbatch_work(596'499, 51.5, {100, 256, 256});
+  EXPECT_NEAR(sixteen.socket_ops / 1e9, 18.80, 0.2);
+}
+
+TEST(WorkModel, FullBatchDoesMoreWorkThanMiniBatch) {
+  // The paper's ~4x-13x observation.
+  const std::vector<HopWork> hops{
+      {"Hop-2", 233'692, 5, 100}, {"Hop-1", 30'214, 10, 256}, {"Hop-0", 2'000, 15, 256}};
+  const double mini = minibatch_work(hops, 196'615, 2'000, 1).socket_ops;
+  const double full = fullbatch_work(2'449'029, 51.5, {100, 256, 256}).socket_ops;
+  EXPECT_GT(full / mini, 3.0);
+  EXPECT_LT(full / mini, 5.0);
+}
+
+// ---- Table 6 memory model ----
+
+TEST(MemoryModel, AlgorithmOrderingMatchesPaper) {
+  MemoryModelInput in;
+  in.partition_vertices = 3'470'623;  // papers at 32 partitions
+  in.split_vertices = static_cast<std::int64_t>(0.90 * 3'470'623);
+  in.delay = 5;
+  const double zc = estimate_memory_0c(in).total_gb;
+  const double cd0 = estimate_memory_cd0(in).total_gb;
+  const double cdr = estimate_memory_cdr(in).total_gb;
+  // Paper Table 6: 0c < cd-0 < cd-5 at every partition count.
+  EXPECT_LT(zc, cd0);
+  EXPECT_LT(cd0, cdr);
+  // cd-5 is roughly 1.5-1.6x cd-0 in the paper.
+  EXPECT_GT(cdr / cd0, 1.2);
+  EXPECT_LT(cdr / cd0, 2.2);
+}
+
+TEST(MemoryModel, MemoryShrinksWithMorePartitions) {
+  MemoryModelInput big, small;
+  big.partition_vertices = 3'470'623;   // 32 partitions
+  big.split_vertices = static_cast<std::int64_t>(0.90 * big.partition_vertices);
+  small.partition_vertices = 867'656;   // 128 partitions
+  small.split_vertices = static_cast<std::int64_t>(0.93 * small.partition_vertices);
+  EXPECT_GT(estimate_memory_cd0(big).total_gb, estimate_memory_cd0(small).total_gb);
+  EXPECT_GT(estimate_memory_cdr(big).total_gb, estimate_memory_cdr(small).total_gb);
+}
+
+}  // namespace
+}  // namespace distgnn

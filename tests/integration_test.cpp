@@ -1,0 +1,127 @@
+// End-to-end pipelines: dataset generation -> partitioning -> distributed
+// full-batch training, and the full-batch vs mini-batch comparison that
+// backs Table 9.
+#include <gtest/gtest.h>
+
+#include "core/distributed_trainer.hpp"
+#include "core/single_socket_trainer.hpp"
+#include "graph/datasets.hpp"
+#include "partition/libra.hpp"
+#include "partition/partition_setup.hpp"
+#include "partition/partition_stats.hpp"
+#include "sampling/sampled_trainer.hpp"
+
+namespace distgnn {
+namespace {
+
+TEST(Integration, RegistryDatasetTrainsSingleSocket) {
+  const Dataset ds = make_dataset("am-sim", 0.25);
+  TrainConfig cfg;
+  cfg.num_layers = 2;
+  cfg.hidden_dim = 16;
+  cfg.lr = 0.05;
+  SingleSocketTrainer trainer(ds, cfg);
+  const double first = trainer.train_epoch().loss;
+  for (int e = 0; e < 5; ++e) trainer.train_epoch();
+  const double last = trainer.train_epoch().loss;
+  // Random labels: it cannot learn much, but it must run and not blow up.
+  EXPECT_TRUE(std::isfinite(first));
+  EXPECT_TRUE(std::isfinite(last));
+  EXPECT_LT(last, first * 1.5);
+}
+
+TEST(Integration, FullPipelineOnRegistryDataset) {
+  const Dataset ds = make_dataset("proteins-sim", 0.05);
+  const EdgePartition ep = partition_libra(ds.graph.coo(), 4);
+  const PartitionQuality q = evaluate_partition(ds.graph.coo(), ep);
+  EXPECT_GE(q.replication_factor, 1.0);
+  EXPECT_LT(q.edge_balance, 1.2);
+
+  const PartitionedGraph pg = build_partitions(ds.graph.coo(), ep, 1);
+  TrainConfig cfg;
+  cfg.num_layers = 2;
+  cfg.hidden_dim = 16;
+  cfg.epochs = 3;
+  cfg.algorithm = Algorithm::kCdR;
+  cfg.delay = 2;
+  cfg.threads_per_rank = 2;
+  const DistTrainResult result = train_distributed(ds, pg, cfg);
+  EXPECT_EQ(result.epochs.size(), 3u);
+  for (const auto& rec : result.epochs) EXPECT_TRUE(std::isfinite(rec.loss));
+}
+
+TEST(Integration, FullBatchAndMiniBatchBothLearnSameData) {
+  LearnableSbmParams p;
+  p.num_vertices = 2048;
+  p.num_classes = 4;
+  p.avg_degree = 12;
+  p.feature_dim = 16;
+  p.feature_noise = 0.5f;
+  const Dataset ds = make_learnable_sbm(p);
+
+  // Full batch (DistGNN single socket).
+  TrainConfig cfg;
+  cfg.num_layers = 2;
+  cfg.hidden_dim = 32;
+  cfg.lr = 0.2;
+  SingleSocketTrainer full(ds, cfg);
+  for (int e = 0; e < 30; ++e) full.train_epoch();
+  const double acc_full = full.evaluate(ds.test_mask);
+
+  // Mini batch (Dist-DGL style).
+  SampledTrainConfig scfg;
+  scfg.fanouts = {5, 10};
+  scfg.batch_size = 256;
+  scfg.hidden_dim = 32;
+  scfg.lr = 0.2;
+  SampledSageTrainer mini(ds, scfg);
+  for (int e = 0; e < 10; ++e) mini.train_epoch();
+  const double acc_mini = mini.evaluate(ds.test_mask);
+
+  EXPECT_GT(acc_full, 0.7);
+  EXPECT_GT(acc_mini, 0.6);
+}
+
+TEST(Integration, ReplicationFactorOrderingAcrossSimDatasets) {
+  // Table 4's cross-dataset story at sim scale: the dense reddit-sim splits
+  // the most; the clustered proteins-sim and the sparse papers-sim split
+  // less.
+  const Dataset reddit = make_dataset("reddit-sim", 0.125);
+  const Dataset products = make_dataset("ogbn-products-sim", 0.0625);
+  const Dataset papers = make_dataset("ogbn-papers-sim", 0.0625);
+  auto rep = [](const Dataset& ds) {
+    return evaluate_partition(ds.graph.coo(), partition_libra(ds.graph.coo(), 8))
+        .replication_factor;
+  };
+  const double rep_reddit = rep(reddit);
+  EXPECT_GT(rep_reddit, rep(products));
+  EXPECT_GT(rep_reddit, rep(papers));
+  EXPECT_GT(rep(products), rep(papers));
+}
+
+TEST(Integration, ScalingReducesLocalAggregationTime) {
+  // Fig. 6's LAT property: more partitions -> less local work per rank.
+  LearnableSbmParams p;
+  p.num_vertices = 16384;
+  p.num_classes = 4;
+  p.avg_degree = 32;
+  p.feature_dim = 64;
+  const Dataset ds = make_learnable_sbm(p);
+  TrainConfig cfg;
+  cfg.num_layers = 2;
+  cfg.hidden_dim = 64;
+  cfg.epochs = 8;
+  cfg.algorithm = Algorithm::k0c;
+  cfg.threads_per_rank = 1;
+
+  const PartitionedGraph pg1 =
+      build_partitions(ds.graph.coo(), partition_libra(ds.graph.coo(), 1), 1);
+  const PartitionedGraph pg8 =
+      build_partitions(ds.graph.coo(), partition_libra(ds.graph.coo(), 8), 1);
+  const double lat1 = train_distributed(ds, pg1, cfg).mean_local_agg_seconds(2);
+  const double lat8 = train_distributed(ds, pg8, cfg).mean_local_agg_seconds(2);
+  EXPECT_LT(lat8, lat1);
+}
+
+}  // namespace
+}  // namespace distgnn

@@ -1,0 +1,181 @@
+// Randomized stress and determinism properties across the stack: message
+// storms on the comm runtime, aggregation over every generator family, and
+// bit-for-bit reproducibility of the trainers.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "comm/world.hpp"
+#include "core/distributed_trainer.hpp"
+#include "core/single_socket_trainer.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "kernels/aggregate.hpp"
+#include "partition/libra.hpp"
+#include "partition/partition_setup.hpp"
+#include "util/rng.hpp"
+
+namespace distgnn {
+namespace {
+
+TEST(CommStress, RandomMessageStormPreservesChannelOrder) {
+  // Every rank sends a random number of messages on random (dest, tag)
+  // channels, then all receive exactly what the senders report — in order.
+  constexpr int kRanks = 4, kMessages = 200, kTags = 5;
+  World::launch(kRanks, [&](Communicator& comm) {
+    Rng rng(1000 + static_cast<std::uint64_t>(comm.rank()));
+    // Plan deterministically from the rank's seed so receivers can
+    // reconstruct every sender's plan without extra communication.
+    auto plan_for = [&](int rank) {
+      Rng r(2000 + static_cast<std::uint64_t>(rank));
+      std::map<std::pair<int, int>, std::vector<real_t>> plan;  // (dest, tag) -> values
+      for (int m = 0; m < kMessages; ++m) {
+        const int dest = static_cast<int>(r.next_below(kRanks));
+        const int tag = static_cast<int>(r.next_below(kTags));
+        plan[{dest, tag}].push_back(static_cast<real_t>(rank * 100000 + m));
+      }
+      return plan;
+    };
+
+    // Send my plan.
+    {
+      Rng r(2000 + static_cast<std::uint64_t>(comm.rank()));
+      for (int m = 0; m < kMessages; ++m) {
+        const int dest = static_cast<int>(r.next_below(kRanks));
+        const int tag = static_cast<int>(r.next_below(kTags));
+        comm.send(dest, tag, {static_cast<real_t>(comm.rank() * 100000 + m)});
+      }
+    }
+
+    // Receive everything addressed to me, per channel, in order.
+    for (int src = 0; src < kRanks; ++src) {
+      const auto plan = plan_for(src);
+      for (const auto& [key, values] : plan) {
+        if (key.first != comm.rank()) continue;
+        for (const real_t expected : values) {
+          const auto payload = comm.recv(src, key.second);
+          ASSERT_EQ(payload.size(), 1u);
+          ASSERT_FLOAT_EQ(payload[0], expected)
+              << "src " << src << " tag " << key.second;
+        }
+      }
+    }
+  });
+}
+
+TEST(CommStress, ManyConcurrentCollectives) {
+  World::launch(6, [](Communicator& comm) {
+    for (int iter = 0; iter < 100; ++iter) {
+      std::vector<real_t> v{static_cast<real_t>(comm.rank()), 1.0f};
+      comm.allreduce_sum(std::span<real_t>(v));
+      ASSERT_FLOAT_EQ(v[0], 15.0f) << "iter " << iter;  // 0+1+..+5
+      ASSERT_FLOAT_EQ(v[1], 6.0f);
+    }
+  });
+}
+
+enum class Family { kRmat, kErdos, kSbm, kPowerLaw };
+
+class GeneratorFamilyTest : public ::testing::TestWithParam<Family> {
+ protected:
+  EdgeList make() {
+    switch (GetParam()) {
+      case Family::kRmat:
+        return generate_rmat({.num_vertices = 400, .num_edges = 3000, .seed = 8});
+      case Family::kErdos: return generate_erdos_renyi(400, 3000, 8);
+      case Family::kSbm: {
+        SbmParams p;
+        p.num_vertices = 400;
+        p.avg_degree = 15;
+        p.seed = 8;
+        return generate_sbm(p).edges;
+      }
+      case Family::kPowerLaw: return generate_power_law(400, 15, 2.1, 8);
+    }
+    return {};
+  }
+};
+
+TEST_P(GeneratorFamilyTest, BlockedAggregationMatchesBaselineOnEveryFamily) {
+  const EdgeList el = make();
+  const CsrMatrix csr = CsrMatrix::from_coo(el);
+  Rng rng(9);
+  DenseMatrix fV(static_cast<std::size_t>(el.num_vertices), 11);
+  for (std::size_t i = 0; i < fV.size(); ++i) fV.data()[i] = rng.uniform(-2, 2);
+
+  DenseMatrix expected(fV.rows(), fV.cols(), 0);
+  aggregate_baseline(csr, fV.cview(), {}, expected.view(), BinaryOp::kCopyLhs, ReduceOp::kSum);
+  for (const int nb : {2, 5, 13}) {
+    DenseMatrix out(fV.rows(), fV.cols(), 0);
+    ApConfig cfg;
+    cfg.num_blocks = nb;
+    aggregate(csr, fV.cview(), {}, out.view(), cfg);
+    for (std::size_t i = 0; i < out.size(); ++i)
+      ASSERT_NEAR(out.data()[i], expected.data()[i], 2e-3f) << "nb " << nb;
+  }
+}
+
+TEST_P(GeneratorFamilyTest, PartitionInvariantsOnEveryFamily) {
+  const EdgeList el = make();
+  const EdgePartition ep = partition_libra(el, 6);
+  const PartitionedGraph pg = build_partitions(el, ep, 2);
+  // Local vertex counts equal the vertex_map ranges; total edges conserved.
+  eid_t edges = 0;
+  for (const LocalPartition& lp : pg.parts) {
+    edges += lp.edges.num_edges();
+    for (vid_t v = 0; v + 1 < lp.num_vertices; ++v)
+      ASSERT_LT(lp.global_ids[static_cast<std::size_t>(v)],
+                lp.global_ids[static_cast<std::size_t>(v) + 1]);  // sorted ascending
+  }
+  EXPECT_EQ(edges, el.num_edges());
+  EXPECT_EQ(pg.total_local_vertices(),
+            pg.vertex_map[static_cast<std::size_t>(pg.num_parts)]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, GeneratorFamilyTest,
+                         ::testing::Values(Family::kRmat, Family::kErdos, Family::kSbm,
+                                           Family::kPowerLaw),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Family::kRmat: return "rmat";
+                             case Family::kErdos: return "erdos";
+                             case Family::kSbm: return "sbm";
+                             case Family::kPowerLaw: return "powerlaw";
+                           }
+                           return "?";
+                         });
+
+TEST(Determinism, DistributedTrainingReproducible) {
+  LearnableSbmParams p;
+  p.num_vertices = 512;
+  p.num_classes = 4;
+  p.feature_dim = 16;
+  const Dataset ds = make_learnable_sbm(p);
+  const PartitionedGraph pg =
+      build_partitions(ds.graph.coo(), partition_libra(ds.graph.coo(), 3), 1);
+  TrainConfig cfg;
+  cfg.num_layers = 2;
+  cfg.hidden_dim = 16;
+  cfg.epochs = 5;
+  cfg.algorithm = Algorithm::kCdR;
+  cfg.delay = 2;
+  cfg.threads_per_rank = 1;
+
+  const DistTrainResult a = train_distributed(ds, pg, cfg);
+  const DistTrainResult b = train_distributed(ds, pg, cfg);
+  for (std::size_t e = 0; e < a.epochs.size(); ++e)
+    EXPECT_DOUBLE_EQ(a.epochs[e].loss, b.epochs[e].loss) << "epoch " << e;
+  EXPECT_DOUBLE_EQ(a.test_accuracy, b.test_accuracy);
+}
+
+TEST(Determinism, PartitioningIndependentOfPriorRuns) {
+  // The partitioner must not share hidden state between invocations.
+  const EdgeList el = generate_rmat({.num_vertices = 300, .num_edges = 2000, .seed = 4});
+  const EdgePartition first = partition_libra(el, 4, 7);
+  partition_libra(el, 8, 99);  // interleave a different run
+  const EdgePartition second = partition_libra(el, 4, 7);
+  EXPECT_EQ(first.edge_owner, second.edge_owner);
+}
+
+}  // namespace
+}  // namespace distgnn

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+
+#include "util/aligned_buffer.hpp"
+#include "util/matrix.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace distgnn {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasApproxUnitMoments) {
+  Rng rng(5);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(AlignedBuffer, AlignmentAndValueInit) {
+  AlignedBuffer<float> buf(1000, 1.5f);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kCacheLineBytes, 0u);
+  for (const float v : buf) EXPECT_EQ(v, 1.5f);
+}
+
+TEST(AlignedBuffer, CopyAndMove) {
+  AlignedBuffer<int> a(10, 3);
+  AlignedBuffer<int> b = a;
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(b[9], 3);
+  b[0] = 7;
+  EXPECT_EQ(a[0], 3);  // deep copy
+  AlignedBuffer<int> c = std::move(a);
+  EXPECT_EQ(c.size(), 10u);
+  EXPECT_EQ(c[5], 3);
+}
+
+TEST(AlignedBuffer, EmptyIsSafe) {
+  AlignedBuffer<double> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.begin(), buf.end());
+}
+
+TEST(DenseMatrix, RowAccessAndViews) {
+  DenseMatrix m(4, 3, 0.0f);
+  m.at(2, 1) = 5.0f;
+  EXPECT_EQ(m.view().at(2, 1), 5.0f);
+  EXPECT_EQ(m.cview().at(2, 1), 5.0f);
+  EXPECT_EQ(m.row(2)[1], 5.0f);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 3u);
+}
+
+TEST(DenseMatrix, ResizeDiscardZeroes) {
+  DenseMatrix m(2, 2, 9.0f);
+  m.resize_discard(3, 3);
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0f);
+}
+
+TEST(Stopwatch, AccumulatesAcrossLaps) {
+  Stopwatch sw;
+  sw.start();
+  sw.stop();
+  sw.start();
+  sw.stop();
+  EXPECT_EQ(sw.laps(), 2u);
+  EXPECT_GE(sw.total_seconds(), 0.0);
+}
+
+TEST(Stopwatch, StopWithoutStartIsNoop) {
+  Stopwatch sw;
+  EXPECT_EQ(sw.stop(), 0.0);
+  EXPECT_EQ(sw.laps(), 0u);
+}
+
+TEST(PhaseTimers, TracksNamedPhases) {
+  PhaseTimers timers;
+  {
+    ScopedTimer t(timers["agg"]);
+  }
+  EXPECT_EQ(timers["agg"].laps(), 1u);
+  EXPECT_EQ(timers.total_seconds("missing"), 0.0);
+}
+
+TEST(TextTable, RendersAlignedRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string out = t.render("Title");
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::fmt_int(-42), "-42");
+}
+
+TEST(Options, ParsesKeyValueForms) {
+  // Note: a bare "--flag" must be last or followed by another --option,
+  // otherwise the next token is consumed as its value.
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "7", "pos", "--flag"};
+  Options opts(6, argv);
+  EXPECT_EQ(opts.get_int("alpha", 0), 3);
+  EXPECT_EQ(opts.get_int("beta", 0), 7);
+  EXPECT_TRUE(opts.get_bool("flag", false));
+  EXPECT_FALSE(opts.get_bool("missing", false));
+  ASSERT_EQ(opts.positional().size(), 1u);
+  EXPECT_EQ(opts.positional()[0], "pos");
+}
+
+TEST(Options, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Options opts(1, argv);
+  EXPECT_EQ(opts.get("name", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(opts.get_double("x", 2.5), 2.5);
+}
+
+}  // namespace
+}  // namespace distgnn
