@@ -3,7 +3,7 @@
 // single-socket run. The reproduction target is the ordering
 // 0c >= cd-5 >= cd-0 and speedup growth with sockets, modulated by each
 // dataset's replication factor.
-#include <omp.h>
+#include "util/parallel.hpp"
 
 #include <cstdio>
 
@@ -41,13 +41,13 @@ int main(int argc, char** argv) {
     const Dataset ds = bench::load(name, scale);
 
     // Optimized single-socket reference, pinned to one socket's thread slice.
-    omp_set_num_threads(threads_per_socket);
+    par::set_num_threads(threads_per_socket);
     SingleSocketTrainer single(ds, base_cfg);
     single.train_epoch();  // warm-up
     double single_epoch = 0;
     for (int e = 0; e < 3; ++e) single_epoch += single.train_epoch().total_seconds;
     single_epoch /= 3;
-    omp_set_num_threads(omp_get_num_procs());
+    par::set_num_threads(par::num_procs());
 
     TextTable table({"sockets", "cd-0 (s)", "cd-5 (s)", "0c (s)", "cd-0 speedup", "cd-5 speedup",
                      "0c speedup"});

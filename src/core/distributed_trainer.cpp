@@ -1,6 +1,6 @@
 #include "core/distributed_trainer.hpp"
 
-#include <omp.h>
+#include "util/parallel.hpp"
 
 #include <array>
 #include <chrono>
@@ -15,6 +15,7 @@
 #include "kernels/aggregate.hpp"
 #include "nn/loss.hpp"
 #include "nn/metrics.hpp"
+#include "util/stopwatch.hpp"
 
 namespace distgnn {
 
@@ -130,18 +131,24 @@ class RankTrainer {
   /// Forward pass. `epoch` drives the DRPA bin schedule; when `exact` is
   /// true a blocking cd-0 halo exchange is used regardless of the algorithm
   /// (evaluation semantics). Returns (LAT, RAT) seconds.
+  /// Phase times use per-thread CPU clocks: ranks are simulated by threads
+  /// that may outnumber host cores, and wall clock would charge scheduler
+  /// waits of other ranks to this rank's LAT/RAT. For RAT this deliberately
+  /// counts only halo pre/post-processing CPU, not blocked recv waits —
+  /// in-process wait time measures host scheduling, not network cost, which
+  /// is why the runtime reports communication *volumes* (CommStats) instead.
   std::pair<double, double> forward(int epoch, bool exact) {
     double lat = 0.0, rat = 0.0;
     const auto n = static_cast<std::size_t>(lp_.num_vertices);
     for (int l = 0; l < config_.num_layers; ++l) {
       const auto li = static_cast<std::size_t>(l);
-      auto t0 = std::chrono::steady_clock::now();
+      double t0 = thread_cpu_seconds();
       aggs_[li].resize_discard(n, acts_[li].cols(), 0);
       ApConfig ap;
       aggregate_prepartitioned(blocked_in_, acts_[li].cview(), {}, aggs_[li].view(), ap);
-      lat += seconds_since(t0);
+      lat += thread_cpu_seconds() - t0;
 
-      t0 = std::chrono::steady_clock::now();
+      t0 = thread_cpu_seconds();
       if (exact) {
         halo_sync_blocking(l, /*purpose=*/1);
       } else {
@@ -151,7 +158,7 @@ class RankTrainer {
           case Algorithm::kCdR: halo_sync_delayed(l, epoch); break;
         }
       }
-      rat += seconds_since(t0);
+      rat += thread_cpu_seconds() - t0;
 
       acts_[li + 1].resize_discard(n, model_.layer(l).out_dim());
       model_.layer(l).forward_from_aggregate(acts_[li].cview(), aggs_[li].cview(),
@@ -440,7 +447,7 @@ DistTrainResult train_distributed(const Dataset& dataset, const PartitionedGraph
 
   World world(pg.num_parts);
   world.run([&](Communicator& comm) {
-    omp_set_num_threads(threads_per_rank);
+    par::set_num_threads(threads_per_rank);
     RankTrainer trainer(comm, dataset, pg, plans, config);
 
     for (int e = 0; e < config.epochs; ++e) {

@@ -96,7 +96,6 @@ EpochStats SingleSocketTrainer::train_epoch() {
 
   // ---- backward ----
   for (int l = config_.num_layers - 1; l >= 0; --l) {
-    const auto li = static_cast<std::size_t>(l);
     t0 = std::chrono::steady_clock::now();
     dscaled_.resize_discard(n, model_.layer(l).in_dim());
     model_.layer(l).backward_to_scaled(d_upper_.cview(), dscaled_.view());

@@ -1,6 +1,6 @@
 #include "kernels/aggregate.hpp"
 
-#include <omp.h>
+#include "util/parallel.hpp"
 
 #include <algorithm>
 #include <cassert>

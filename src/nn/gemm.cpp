@@ -1,6 +1,6 @@
 #include "nn/gemm.hpp"
 
-#include <omp.h>
+#include "util/parallel.hpp"
 
 #include <algorithm>
 #include <stdexcept>
@@ -42,8 +42,8 @@ void gemm_at_b(ConstMatrixView A, ConstMatrixView B, MatrixView C, bool accumula
   // thread walks all of A/B but only updates its stripe of C.
 #pragma omp parallel
   {
-    const int nt = omp_get_num_threads();
-    const int tid = omp_get_thread_num();
+    const int nt = par::num_threads();
+    const int tid = par::thread_id();
     const std::size_t stripe = (m + static_cast<std::size_t>(nt) - 1) / static_cast<std::size_t>(nt);
     const std::size_t begin = std::min(m, static_cast<std::size_t>(tid) * stripe);
     const std::size_t end = std::min(m, begin + stripe);

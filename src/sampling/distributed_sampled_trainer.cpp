@@ -1,6 +1,6 @@
 #include "sampling/distributed_sampled_trainer.hpp"
 
-#include <omp.h>
+#include "util/parallel.hpp"
 
 #include <array>
 #include <chrono>
@@ -29,7 +29,7 @@ DistSampledResult train_distributed_sampled(const Dataset& dataset, SampledTrain
 
   World world(num_ranks);
   world.run([&](Communicator& comm) {
-    omp_set_num_threads(threads);
+    par::set_num_threads(threads);
 
     // Replicas share the seed; gradients are averaged per batch.
     SampledTrainConfig cfg = config;

@@ -1,0 +1,46 @@
+// OpenMP shim: wraps <omp.h> when OpenMP is available and provides serial
+// fallbacks otherwise, so every translation unit can include this header
+// unconditionally. `#pragma omp` directives are ignored by non-OpenMP
+// compilers, so only the runtime-library calls need wrapping.
+#pragma once
+
+#if defined(_OPENMP)
+#include <omp.h>
+
+namespace distgnn::par {
+inline constexpr bool kHaveOpenMP = true;
+}  // namespace distgnn::par
+
+#else  // serial fallbacks
+
+inline int omp_get_num_threads() { return 1; }
+inline int omp_get_max_threads() { return 1; }
+inline int omp_get_thread_num() { return 0; }
+inline int omp_get_num_procs() { return 1; }
+inline void omp_set_num_threads(int) {}
+inline int omp_in_parallel() { return 0; }
+
+namespace distgnn::par {
+inline constexpr bool kHaveOpenMP = false;
+}  // namespace distgnn::par
+
+#endif  // _OPENMP
+
+namespace distgnn::par {
+
+/// Number of worker threads a parallel region would use.
+inline int max_threads() { return omp_get_max_threads(); }
+
+/// Calling thread's id inside a parallel region (0 when serial).
+inline int thread_id() { return omp_get_thread_num(); }
+
+/// Threads active in the current parallel region (1 when serial).
+inline int num_threads() { return omp_get_num_threads(); }
+
+/// Hint for the global thread count; no-op in serial builds.
+inline void set_num_threads(int n) { omp_set_num_threads(n); }
+
+/// Hardware concurrency as OpenMP sees it (1 in serial builds).
+inline int num_procs() { return omp_get_num_procs(); }
+
+}  // namespace distgnn::par

@@ -1,5 +1,19 @@
 #include "util/stopwatch.hpp"
 
-// Header-only in practice; this TU anchors the library and keeps the door
-// open for out-of-line additions without touching every dependent target.
-namespace distgnn {}
+#if defined(__unix__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
+namespace distgnn {
+
+double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+#endif
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+}  // namespace distgnn

@@ -10,6 +10,14 @@
 
 namespace distgnn {
 
+/// CPU seconds consumed by the calling thread. The in-process cluster
+/// simulation (comm/World) oversubscribes the host when ranks outnumber
+/// cores, so wall-clock per-rank phase times would include scheduler waits;
+/// thread CPU time measures the rank's actual work, which is what the paper's
+/// per-socket LAT/RAT numbers mean. Falls back to wall clock on platforms
+/// without a per-thread CPU clock.
+double thread_cpu_seconds();
+
 class Stopwatch {
  public:
   void start() { begin_ = clock::now(); running_ = true; }

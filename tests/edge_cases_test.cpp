@@ -3,7 +3,7 @@
 // determinism of the kernels.
 #include <gtest/gtest.h>
 
-#include <omp.h>
+#include "util/parallel.hpp"
 
 #include "core/distributed_trainer.hpp"
 #include "core/single_socket_trainer.hpp"
@@ -77,20 +77,20 @@ TEST(EdgeCase, AggregationDeterministicAcrossThreadCounts) {
   DenseMatrix fV(512, 9);
   for (std::size_t i = 0; i < fV.size(); ++i) fV.data()[i] = rng.uniform(-1, 1);
 
-  const int saved = omp_get_max_threads();
+  const int saved = par::max_threads();
   DenseMatrix ref(512, 9, 0);
   ApConfig cfg;
   cfg.num_blocks = 4;
-  omp_set_num_threads(1);
+  par::set_num_threads(1);
   aggregate(csr, fV.cview(), {}, ref.view(), cfg);
   for (const int threads : {2, 4, 8}) {
-    omp_set_num_threads(threads);
+    par::set_num_threads(threads);
     DenseMatrix out(512, 9, 0);
     aggregate(csr, fV.cview(), {}, out.view(), cfg);
     for (std::size_t i = 0; i < out.size(); ++i)
       ASSERT_EQ(out.data()[i], ref.data()[i]) << threads << " threads, flat " << i;
   }
-  omp_set_num_threads(saved);
+  par::set_num_threads(saved);
 }
 
 TEST(EdgeCase, PartitionWithMorePartsThanEdges) {
