@@ -1,0 +1,150 @@
+// Serving-path benchmarks: micro-batched forward throughput, closed-loop
+// QPS, and open-loop tail latency under Poisson and bursty 2-state MMPP
+// arrivals. QPS and p50/p95/p99 are exported as counters so CI's
+// --benchmark_format=json artifact carries the full serving trajectory.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "graph/datasets.hpp"
+#include "serve/inference_server.hpp"
+#include "serve/model_snapshot.hpp"
+#include "serve/traffic_gen.hpp"
+
+namespace distgnn {
+namespace {
+
+using namespace distgnn::serve;
+
+struct ServingFixture {
+  Dataset dataset;
+  std::shared_ptr<const ModelSnapshot> snapshot;
+
+  static ServingFixture& get() {
+    static ServingFixture f = make();
+    return f;
+  }
+
+  static ServingFixture make() {
+    LearnableSbmParams params;
+    params.num_vertices = 4096;
+    params.num_classes = 8;
+    params.avg_degree = 16;
+    params.feature_dim = 64;
+    params.seed = 9;
+    ServingFixture f{make_learnable_sbm(params), nullptr};
+    ModelSpec spec;
+    spec.feature_dim = f.dataset.feature_dim();
+    spec.hidden_dim = 64;
+    spec.num_classes = f.dataset.num_classes;
+    spec.num_layers = 2;
+    f.snapshot = ModelSnapshot::random(spec, /*seed=*/1, /*version=*/1);
+    (void)f.dataset.graph.in_csr();
+    return f;
+  }
+
+  ServeConfig config(int workers, int max_batch) const {
+    ServeConfig cfg;
+    cfg.num_workers = workers;
+    cfg.max_batch = max_batch;
+    cfg.max_batch_delay = std::chrono::microseconds(500);
+    cfg.fanouts = {10, 10};
+    return cfg;
+  }
+};
+
+void attach_report(benchmark::State& state, const LoadReport& report) {
+  state.counters["QPS"] = report.qps;
+  state.counters["p50_ms"] = report.p50_ms;
+  state.counters["p95_ms"] = report.p95_ms;
+  state.counters["p99_ms"] = report.p99_ms;
+  state.counters["mean_batch"] = report.mean_batch;
+  state.counters["rejected"] = static_cast<double>(report.rejected);
+}
+
+/// Raw model-side throughput of the stacked micro-batch forward, swept over
+/// batch size: the GEMM-amortization curve that motivates batching at all.
+void BM_MicroBatchForward(benchmark::State& state) {
+  ServingFixture& f = ServingFixture::get();
+  const int batch_size = static_cast<int>(state.range(0));
+  const std::vector<int> fanouts = {10, 10};
+  const std::size_t dim = static_cast<std::size_t>(f.dataset.feature_dim());
+
+  std::vector<MiniBatch> batch;
+  std::size_t rows = 0;
+  for (int i = 0; i < batch_size; ++i) {
+    const vid_t v = (static_cast<vid_t>(i) * 131) % f.dataset.num_vertices();
+    Rng rng = request_rng(1, v);
+    const vid_t seed[1] = {v};
+    batch.push_back(sample_minibatch(f.dataset.graph.in_csr(), seed, fanouts, rng));
+    rows += batch.back().input_vertices.size();
+  }
+  DenseMatrix inputs(rows, dim);
+  std::size_t row = 0;
+  for (const MiniBatch& mb : batch)
+    for (const vid_t v : mb.input_vertices) {
+      const real_t* src = f.dataset.features.row(static_cast<std::size_t>(v));
+      std::copy(src, src + dim, inputs.row(row++));
+    }
+
+  ForwardScratch scratch;
+  DenseMatrix logits;
+  for (auto _ : state) {
+    f.snapshot->forward_batch(batch, inputs.cview(), scratch, logits);
+    benchmark::DoNotOptimize(logits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+}
+BENCHMARK(BM_MicroBatchForward)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_ClosedLoop(benchmark::State& state) {
+  ServingFixture& f = ServingFixture::get();
+  const int clients = static_cast<int>(state.range(0));
+  LoadReport last;
+  for (auto _ : state) {
+    InferenceServer server(f.dataset, f.config(/*workers=*/2, /*max_batch=*/16));
+    server.publish(f.snapshot);
+    server.start();
+    TrafficGenerator traffic(server, /*seed=*/5);
+    last = traffic.run_closed_loop(clients, /*requests_each=*/200 / clients);
+    server.stop();
+  }
+  attach_report(state, last);
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_ClosedLoop)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void run_open_loop(benchmark::State& state, ArrivalProcess process) {
+  ServingFixture& f = ServingFixture::get();
+  ArrivalConfig arrivals;
+  arrivals.process = process;
+  arrivals.rate = static_cast<double>(state.range(0));
+  // Scale the MMPP states to the same long-run mean as the Poisson rate.
+  arrivals.mmpp_rate0 = arrivals.rate / 4;
+  arrivals.mmpp_rate1 = arrivals.rate * 4;
+  LoadReport last;
+  for (auto _ : state) {
+    InferenceServer server(f.dataset, f.config(/*workers=*/2, /*max_batch=*/16));
+    server.publish(f.snapshot);
+    server.start();
+    TrafficGenerator traffic(server, /*seed=*/5);
+    last = traffic.run_open_loop(arrivals, /*num_requests=*/400);
+    server.stop();
+  }
+  attach_report(state, last);
+  state.SetItemsProcessed(state.iterations() * 400);
+}
+
+void BM_OpenLoop_Poisson(benchmark::State& state) {
+  run_open_loop(state, ArrivalProcess::kPoisson);
+}
+BENCHMARK(BM_OpenLoop_Poisson)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_OpenLoop_Mmpp(benchmark::State& state) { run_open_loop(state, ArrivalProcess::kMmpp); }
+BENCHMARK(BM_OpenLoop_Mmpp)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace distgnn
+
+BENCHMARK_MAIN();

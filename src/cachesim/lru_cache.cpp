@@ -29,12 +29,7 @@ const CacheStats& LruCache::stats(int space) const {
 
 CacheStats LruCache::combined_stats() const {
   CacheStats out;
-  for (const auto& s : per_space_) {
-    out.accesses += s.accesses;
-    out.misses += s.misses;
-    out.bytes_read += s.bytes_read;
-    out.bytes_written += s.bytes_written;
-  }
+  for (const auto& s : per_space_) out += s;
   return out;
 }
 

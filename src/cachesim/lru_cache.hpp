@@ -23,6 +23,14 @@ struct CacheStats {
   std::uint64_t bytes_read = 0;      // DRAM -> cache (miss fills)
   std::uint64_t bytes_written = 0;   // cache -> DRAM (dirty evictions + flush)
 
+  CacheStats& operator+=(const CacheStats& o) {
+    accesses += o.accesses;
+    misses += o.misses;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    return *this;
+  }
+
   std::uint64_t hits() const { return accesses - misses; }
   double hit_rate() const { return accesses == 0 ? 0.0 : static_cast<double>(hits()) / static_cast<double>(accesses); }
   /// Average number of times a fetched object is touched before eviction —

@@ -36,8 +36,8 @@ TrafficReport replay_aggregation_traffic(const CsrMatrix& A, std::size_t d, int 
   report.fv_reuse = report.fv.reuse();
   const CacheStats combined = cache.combined_stats();
   report.combined_reuse = combined.reuse();
-  report.bytes_read = report.fv.bytes_read + report.fo.bytes_read;
-  report.bytes_written = report.fv.bytes_written + report.fo.bytes_written;
+  report.bytes_read = combined.bytes_read;
+  report.bytes_written = combined.bytes_written;
   return report;
 }
 

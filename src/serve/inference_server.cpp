@@ -1,0 +1,159 @@
+#include "serve/inference_server.hpp"
+
+#include <future>
+#include <stdexcept>
+
+namespace distgnn::serve {
+
+Rng request_rng(std::uint64_t sample_seed, vid_t vertex) {
+  // splitmix64 over the vertex id, xored into the base seed: adjacent vertex
+  // ids get uncorrelated streams, and the stream depends only on (seed,
+  // vertex) — never on batch composition, worker id, or serving mode.
+  return Rng(sample_seed ^ splitmix64(static_cast<std::uint64_t>(vertex)));
+}
+
+InferenceServer::InferenceServer(const Dataset& dataset, ServeConfig config)
+    : dataset_(dataset),
+      config_(std::move(config)),
+      queue_(config_.queue_capacity),
+      cache_(config_.cache_bytes, static_cast<std::size_t>(dataset.feature_dim()),
+             config_.cache_shards) {
+  if (config_.num_workers < 1) throw std::invalid_argument("InferenceServer: need >= 1 worker");
+  if (config_.max_batch < 1) throw std::invalid_argument("InferenceServer: max_batch must be >= 1");
+  if (config_.fanouts.empty()) throw std::invalid_argument("InferenceServer: fanouts empty");
+  // Force CSR construction now so worker threads share the built structure.
+  (void)dataset_.graph.in_csr();
+}
+
+InferenceServer::~InferenceServer() { stop(); }
+
+void InferenceServer::publish(std::shared_ptr<const ModelSnapshot> snapshot) {
+  if (!snapshot) throw std::invalid_argument("InferenceServer: null snapshot");
+  if (snapshot->spec().num_layers != static_cast<int>(config_.fanouts.size()))
+    throw std::invalid_argument("InferenceServer: fanouts depth != model layers");
+  if (snapshot->spec().feature_dim != dataset_.feature_dim())
+    throw std::invalid_argument("InferenceServer: snapshot feature_dim != dataset");
+  holder_.publish(std::move(snapshot));
+}
+
+void InferenceServer::start() {
+  if (running_) return;
+  if (!holder_.get()) throw std::logic_error("InferenceServer: start() before publish()");
+  queue_.reopen();  // stop() closed it; a restarted server must admit again
+  running_ = true;
+  workers_.reserve(static_cast<std::size_t>(config_.num_workers));
+  for (int w = 0; w < config_.num_workers; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void InferenceServer::stop() {
+  if (!running_) return;
+  queue_.close();
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+  running_ = false;
+}
+
+bool InferenceServer::submit(vid_t vertex, std::function<void(InferResult&&)> done) {
+  if (vertex < 0 || vertex >= dataset_.num_vertices())
+    throw std::out_of_range("InferenceServer: vertex id out of range");
+  InferRequest request;
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.vertex = vertex;
+  request.enqueue = ServeClock::now();
+  request.done = std::move(done);
+  if (queue_.try_push(std::move(request))) return true;
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+InferResult InferenceServer::infer_sync(vid_t vertex) {
+  std::promise<InferResult> promise;
+  auto future = promise.get_future();
+  InferRequest request;
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.vertex = vertex;
+  request.enqueue = ServeClock::now();
+  request.done = [&promise](InferResult&& r) { promise.set_value(std::move(r)); };
+  if (!queue_.push(std::move(request)))
+    throw std::runtime_error("InferenceServer: infer_sync on a stopped server");
+  return future.get();
+}
+
+void InferenceServer::worker_loop() {
+  ForwardScratch scratch;
+  std::vector<MiniBatch> minibatches;
+  DenseMatrix inputs, logits;
+  while (true) {
+    std::vector<InferRequest> batch = queue_.pop_batch(config_.max_batch, config_.max_batch_delay);
+    if (batch.empty()) return;  // closed and drained
+    process_batch(std::move(batch), scratch, minibatches, inputs, logits);
+  }
+}
+
+void InferenceServer::process_batch(std::vector<InferRequest>&& batch, ForwardScratch& scratch,
+                                    std::vector<MiniBatch>& minibatches, DenseMatrix& inputs,
+                                    DenseMatrix& logits) {
+  const std::shared_ptr<const ModelSnapshot> snapshot = holder_.get();
+  const CsrMatrix& in_csr = dataset_.graph.in_csr();
+  const std::size_t f = static_cast<std::size_t>(dataset_.feature_dim());
+
+  // Independent per-request neighbourhood sampling: the batch is a stacking
+  // of single-request plans, so its outputs are bitwise those of per-request
+  // serving, while the GEMMs and the feature gather run once per batch.
+  minibatches.clear();
+  std::size_t input_rows = 0;
+  for (const InferRequest& request : batch) {
+    Rng rng = request_rng(config_.sample_seed, request.vertex);
+    const vid_t seed[1] = {request.vertex};
+    minibatches.push_back(sample_minibatch(in_csr, seed, config_.fanouts, rng));
+    input_rows += minibatches.back().input_vertices.size();
+  }
+
+  inputs.resize_discard(input_rows, f);
+  std::size_t row = 0;
+  for (const MiniBatch& mb : minibatches) {
+    for (const vid_t v : mb.input_vertices) {
+      cache_.get_or_fill(/*space=*/0, static_cast<std::uint64_t>(v), inputs.row(row),
+                         [&](real_t* dst) {
+                           const real_t* src = dataset_.features.row(static_cast<std::size_t>(v));
+                           std::copy(src, src + f, dst);
+                         });
+      ++row;
+    }
+  }
+
+  snapshot->forward_batch(minibatches, inputs.cview(), scratch, logits);
+
+  const auto now = ServeClock::now();
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    InferResult result;
+    result.request_id = batch[r].id;
+    result.vertex = batch[r].vertex;
+    result.logits.assign(logits.row(r), logits.row(r) + logits.cols());
+    result.latency_seconds = std::chrono::duration<double>(now - batch[r].enqueue).count();
+    result.snapshot_version = snapshot->version();
+    if (batch[r].done) batch[r].done(std::move(result));
+  }
+
+  completed_.fetch_add(batch.size(), std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+  std::uint64_t seen = max_batch_seen_.load(std::memory_order_relaxed);
+  while (batch.size() > seen &&
+         !max_batch_seen_.compare_exchange_weak(seen, batch.size(), std::memory_order_relaxed)) {
+  }
+}
+
+ServerStats InferenceServer::stats() const {
+  ServerStats s;
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  s.max_batch_seen = max_batch_seen_.load(std::memory_order_relaxed);
+  s.feature_cache = cache_.stats(/*space=*/0);
+  return s;
+}
+
+}  // namespace distgnn::serve

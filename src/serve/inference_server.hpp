@@ -1,0 +1,110 @@
+// Single-process online inference server.
+//
+// A pool of worker threads pulls micro-batches off a bounded request queue,
+// samples each request's k-hop neighbourhood (deterministically, seeded per
+// vertex so a request's answer does not depend on which batch it landed in),
+// gathers input features through the sharded LRU feature cache, and runs the
+// stacked batch through the live ModelSnapshot in one pass. Snapshots are
+// published through SnapshotHolder, so a new checkpoint can go live between
+// batches while in-flight batches finish on the model they started with.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/datasets.hpp"
+#include "serve/feature_cache.hpp"
+#include "serve/model_snapshot.hpp"
+#include "serve/request_queue.hpp"
+#include "util/rng.hpp"
+
+namespace distgnn::serve {
+
+struct ServeConfig {
+  int num_workers = 2;
+  int max_batch = 8;
+  std::chrono::microseconds max_batch_delay{200};
+  std::size_t queue_capacity = 1024;
+  std::vector<int> fanouts = {10, 10};  // input-most first; size == model layers
+  std::uint64_t cache_bytes = 8ull << 20;
+  int cache_shards = 8;
+  /// Per-request sampling is seeded mix(sample_seed, vertex); the sharded
+  /// server uses the same mix, which is what makes single-process and
+  /// sharded answers comparable bit for bit.
+  std::uint64_t sample_seed = 1;
+};
+
+struct ServerStats {
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_requests = 0;  // Σ batch sizes (== completed)
+  std::uint64_t max_batch_seen = 0;
+  CacheStats feature_cache;  // space 0: local feature rows
+
+  double mean_batch() const {
+    return batches == 0 ? 0.0 : static_cast<double>(batched_requests) / static_cast<double>(batches);
+  }
+};
+
+/// Deterministic per-request sampling stream shared by every serving mode.
+Rng request_rng(std::uint64_t sample_seed, vid_t vertex);
+
+class InferenceServer {
+ public:
+  /// The dataset provides graph structure and the feature store; the model
+  /// comes in via publish(). The server keeps references only — the dataset
+  /// must outlive it.
+  InferenceServer(const Dataset& dataset, ServeConfig config);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Atomically swaps the served model. Callable before start() and at any
+  /// point under live traffic.
+  void publish(std::shared_ptr<const ModelSnapshot> snapshot);
+  std::shared_ptr<const ModelSnapshot> snapshot() const { return holder_.get(); }
+
+  /// Spawns the worker pool. Requires a published snapshot.
+  void start();
+  /// Closes the queue, drains pending requests, joins the workers. Idempotent.
+  void stop();
+
+  /// Asynchronous submission; `done` runs on a worker thread. Returns false
+  /// (and counts a rejection) when the bounded queue is full.
+  bool submit(vid_t vertex, std::function<void(InferResult&&)> done);
+  /// Blocking convenience wrapper for closed-loop clients and tests.
+  InferResult infer_sync(vid_t vertex);
+
+  ServerStats stats() const;
+  const ServeConfig& config() const { return config_; }
+  const Dataset& dataset() const { return dataset_; }
+
+ private:
+  void worker_loop();
+  void process_batch(std::vector<InferRequest>&& batch, ForwardScratch& scratch,
+                     std::vector<MiniBatch>& minibatches, DenseMatrix& inputs,
+                     DenseMatrix& logits);
+
+  const Dataset& dataset_;
+  ServeConfig config_;
+  SnapshotHolder holder_;
+  BoundedRequestQueue queue_;
+  ShardedFeatureCache cache_;
+  std::vector<std::thread> workers_;
+  bool running_ = false;
+
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  std::atomic<std::uint64_t> max_batch_seen_{0};
+};
+
+}  // namespace distgnn::serve

@@ -1,0 +1,266 @@
+#include "serve/model_snapshot.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "nn/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace distgnn::serve {
+
+namespace {
+
+/// Serial i-k-j GEMM + row bias. Workers run concurrently, so the snapshot
+/// must not spawn nested OpenMP teams; per-request row blocks are small
+/// enough that the serial loop is the right tool. The k-ascending
+/// accumulation order matches nn/gemm so served logits are bitwise-identical
+/// to the training-side forward.
+void dense_affine(ConstMatrixView X, const DenseMatrix& W, const DenseMatrix& bias, MatrixView Y) {
+  const std::size_t k_dim = W.rows(), n_dim = W.cols();
+  for (std::size_t i = 0; i < X.rows; ++i) {
+    real_t* y = Y.row(i);
+    for (std::size_t j = 0; j < n_dim; ++j) y[j] = 0;
+    const real_t* x = X.row(i);
+    for (std::size_t k = 0; k < k_dim; ++k) {
+      const real_t a = x[k];
+      const real_t* w = W.row(k);
+      for (std::size_t j = 0; j < n_dim; ++j) y[j] += a * w[j];
+    }
+    // Bias last, as nn/Linear does (gemm then add_row_bias): float addition
+    // is non-associative, so the order is part of the bitwise contract.
+    for (std::size_t j = 0; j < n_dim; ++j) y[j] += bias.at(0, j);
+  }
+}
+
+std::size_t batch_rows(std::span<const MiniBatch> batch, std::size_t layer, bool src_side) {
+  std::size_t rows = 0;
+  for (const MiniBatch& mb : batch) {
+    const SampledBlock& b = mb.blocks[layer];
+    rows += static_cast<std::size_t>(src_side ? b.num_src : b.num_dst);
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::size_t ModelSpec::in_dim(int layer) const {
+  return static_cast<std::size_t>(layer == 0 ? feature_dim : hidden_dim);
+}
+
+std::size_t ModelSpec::out_dim(int layer) const {
+  return static_cast<std::size_t>(layer == num_layers - 1 ? num_classes : hidden_dim);
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::random(const ModelSpec& spec,
+                                                           std::uint64_t seed,
+                                                           std::uint64_t version) {
+  if (spec.num_layers < 1) throw std::invalid_argument("ModelSnapshot: num_layers must be >= 1");
+  auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot(spec, version));
+  Rng rng(seed);
+  for (int l = 0; l < spec.num_layers; ++l) {
+    LayerWeights lw;
+    const std::size_t in = spec.in_dim(l), out = spec.out_dim(l);
+    lw.weight = DenseMatrix(in, out);
+    xavier_uniform(lw.weight.view(), in, out, rng);
+    if (spec.kind == ModelKind::kSage) {
+      lw.bias = DenseMatrix(1, out);
+      lw.relu = l != spec.num_layers - 1;
+    } else {
+      lw.attn_src = DenseMatrix(1, out);
+      lw.attn_dst = DenseMatrix(1, out);
+      xavier_uniform(lw.attn_src.view(), out, 1, rng);
+      xavier_uniform(lw.attn_dst.view(), out, 1, rng);
+    }
+    snap->layers_.push_back(std::move(lw));
+  }
+  return snap;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::from_checkpoint(const ModelSpec& spec,
+                                                                    const std::string& path,
+                                                                    std::uint64_t version) {
+  // Allocate the right shapes, then let load_checkpoint fill (and validate
+  // against) them. The ParamRef order must match the corresponding trained
+  // model's params(): SAGE = per layer weight, bias; GAT = per layer weight,
+  // attn_src, attn_dst.
+  auto snap =
+      std::const_pointer_cast<ModelSnapshot>(random(spec, /*seed=*/0, version));
+  std::vector<ParamRef> refs;
+  for (LayerWeights& lw : snap->layers_) {
+    refs.push_back({lw.weight.data(), nullptr, lw.weight.size()});
+    if (spec.kind == ModelKind::kSage) {
+      refs.push_back({lw.bias.data(), nullptr, lw.bias.size()});
+    } else {
+      refs.push_back({lw.attn_src.data(), nullptr, lw.attn_src.size()});
+      refs.push_back({lw.attn_dst.data(), nullptr, lw.attn_dst.size()});
+    }
+  }
+  load_checkpoint(refs, path);
+  return snap;
+}
+
+std::size_t ModelSnapshot::num_parameters() const {
+  std::size_t n = 0;
+  for (const LayerWeights& lw : layers_)
+    n += lw.weight.size() + lw.bias.size() + lw.attn_src.size() + lw.attn_dst.size();
+  return n;
+}
+
+void ModelSnapshot::save(const std::string& path) const {
+  std::vector<ParamRef> refs;
+  for (const LayerWeights& lw : layers_) {
+    // save_checkpoint only reads through value; the const_cast is safe.
+    refs.push_back({const_cast<real_t*>(lw.weight.data()), nullptr, lw.weight.size()});
+    if (spec_.kind == ModelKind::kSage) {
+      refs.push_back({const_cast<real_t*>(lw.bias.data()), nullptr, lw.bias.size()});
+    } else {
+      refs.push_back({const_cast<real_t*>(lw.attn_src.data()), nullptr, lw.attn_src.size()});
+      refs.push_back({const_cast<real_t*>(lw.attn_dst.data()), nullptr, lw.attn_dst.size()});
+    }
+  }
+  save_checkpoint(refs, path);
+}
+
+void ModelSnapshot::forward_batch(std::span<const MiniBatch> batch, ConstMatrixView inputs,
+                                  ForwardScratch& scratch, DenseMatrix& logits) const {
+  const auto num_layers = layers_.size();
+  for (const MiniBatch& mb : batch)
+    if (mb.blocks.size() != num_layers)
+      throw std::invalid_argument("ModelSnapshot: minibatch depth != model layers");
+  if (inputs.rows != batch_rows(batch, 0, /*src_side=*/true) ||
+      inputs.cols != static_cast<std::size_t>(spec_.feature_dim))
+    throw std::invalid_argument("ModelSnapshot: stacked input shape mismatch");
+
+  scratch.acts.resize(num_layers + 1);
+  scratch.acts[0].resize_discard(inputs.rows, inputs.cols);
+  std::copy(inputs.data, inputs.data + inputs.rows * inputs.cols, scratch.acts[0].data());
+
+  if (spec_.kind == ModelKind::kSage)
+    forward_sage(batch, scratch);
+  else
+    forward_gat(batch, scratch);
+
+  const DenseMatrix& out = scratch.acts[num_layers];
+  logits.resize_discard(out.rows(), out.cols());
+  std::copy(out.data(), out.data() + out.size(), logits.data());
+}
+
+void ModelSnapshot::forward_sage(std::span<const MiniBatch> batch, ForwardScratch& scratch) const {
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const LayerWeights& lw = layers_[l];
+    const DenseMatrix& cur = scratch.acts[l];
+    const std::size_t d = cur.cols();
+    const std::size_t out_rows = batch_rows(batch, l, /*src_side=*/false);
+
+    // combined = (agg + h_dst) * 1/(deg+1), computed in place over the
+    // stacked destination rows; each request's rows reference only its own
+    // source-row slice, so the result is independent of batch composition.
+    DenseMatrix& combined = scratch.agg;
+    combined.resize_discard(out_rows, d, 0);
+    std::size_t in_off = 0, out_off = 0;
+    for (const MiniBatch& mb : batch) {
+      const SampledBlock& block = mb.blocks[l];
+      for (vid_t v = 0; v < block.num_dst; ++v) {
+        const auto nbrs = block.neighbors(v);
+        real_t* c = combined.row(out_off + static_cast<std::size_t>(v));
+        for (const vid_t u : nbrs) {
+          const real_t* s = cur.row(in_off + static_cast<std::size_t>(u));
+          for (std::size_t j = 0; j < d; ++j) c[j] += s[j];
+        }
+        const real_t inv = 1.0f / (static_cast<real_t>(nbrs.size()) + 1.0f);
+        const real_t* h = cur.row(in_off + static_cast<std::size_t>(v));
+        for (std::size_t j = 0; j < d; ++j) c[j] = (c[j] + h[j]) * inv;
+      }
+      in_off += static_cast<std::size_t>(block.num_src);
+      out_off += static_cast<std::size_t>(block.num_dst);
+    }
+
+    DenseMatrix& next = scratch.acts[l + 1];
+    next.resize_discard(out_rows, lw.weight.cols());
+    dense_affine(combined.cview(), lw.weight, lw.bias, next.view());
+    if (lw.relu) {
+      real_t* y = next.data();
+      for (std::size_t i = 0; i < next.size(); ++i) y[i] = y[i] > 0 ? y[i] : 0;
+    }
+  }
+}
+
+void ModelSnapshot::forward_gat(std::span<const MiniBatch> batch, ForwardScratch& scratch) const {
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const LayerWeights& lw = layers_[l];
+    const DenseMatrix& cur = scratch.acts[l];
+    const std::size_t d = lw.weight.cols();
+    const std::size_t in_rows = cur.rows();
+    const std::size_t out_rows = batch_rows(batch, l, /*src_side=*/false);
+
+    // Projection of every source row, then per-destination attention over the
+    // sampled in-neighbours (GatInference semantics: no self edge, degree-0
+    // destinations output zeros).
+    DenseMatrix& z = scratch.z;
+    z.resize_discard(in_rows, d);
+    const DenseMatrix zero_bias(1, d);  // the GAT projection is bias-free
+    dense_affine(cur.cview(), lw.weight, zero_bias, z.view());
+
+    DenseMatrix& next = scratch.acts[l + 1];
+    next.resize_discard(out_rows, d, 0);
+
+    std::size_t in_off = 0, out_off = 0;
+    for (const MiniBatch& mb : batch) {
+      const SampledBlock& block = mb.blocks[l];
+      for (vid_t v = 0; v < block.num_dst; ++v) {
+        const auto nbrs = block.neighbors(v);
+        real_t* out = next.row(out_off + static_cast<std::size_t>(v));
+        if (nbrs.empty()) continue;
+
+        const real_t* zv = z.row(in_off + static_cast<std::size_t>(v));
+        real_t dst_term = 0;
+        for (std::size_t j = 0; j < d; ++j) dst_term += zv[j] * lw.attn_dst.at(0, j);
+
+        scratch.scores.resize(nbrs.size());
+        real_t max_score = -std::numeric_limits<real_t>::infinity();
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const real_t* zu = z.row(in_off + static_cast<std::size_t>(nbrs[i]));
+          real_t src_term = 0;
+          for (std::size_t j = 0; j < d; ++j) src_term += zu[j] * lw.attn_src.at(0, j);
+          const real_t raw = src_term + dst_term;
+          const real_t score = raw > 0 ? raw : spec_.leaky_slope * raw;
+          scratch.scores[i] = score;
+          max_score = std::max(max_score, score);
+        }
+        real_t denom = 0;
+        for (real_t& s : scratch.scores) {
+          s = std::exp(s - max_score);
+          denom += s;
+        }
+        const real_t inv = 1.0f / denom;
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const real_t alpha = scratch.scores[i] * inv;
+          const real_t* zu = z.row(in_off + static_cast<std::size_t>(nbrs[i]));
+          for (std::size_t j = 0; j < d; ++j) out[j] += alpha * zu[j];
+        }
+      }
+      in_off += static_cast<std::size_t>(block.num_src);
+      out_off += static_cast<std::size_t>(block.num_dst);
+    }
+  }
+}
+
+void SnapshotHolder::publish(std::shared_ptr<const ModelSnapshot> snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  current_ = std::move(snapshot);
+  ++publishes_;
+}
+
+std::shared_ptr<const ModelSnapshot> SnapshotHolder::get() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::uint64_t SnapshotHolder::num_publishes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return publishes_;
+}
+
+}  // namespace distgnn::serve

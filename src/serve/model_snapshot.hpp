@@ -1,0 +1,118 @@
+// Immutable served models for the online inference subsystem.
+//
+// A ModelSnapshot freezes the weights of a trained GraphSAGE (or GAT) model
+// loaded from an nn/serialize checkpoint. Unlike the training-side layers,
+// whose forward passes cache activations in member scratch (and are therefore
+// not usable from concurrent worker threads), a snapshot's forward is
+// stateless: all scratch lives in a caller-owned ForwardScratch, so any
+// number of servers/workers can run inference against one shared snapshot.
+//
+// SnapshotHolder is the publication point: publish() atomically swaps the
+// live snapshot under traffic, and get() hands each in-flight batch a
+// shared_ptr that keeps *its* model alive until the batch completes — a new
+// checkpoint can land mid-stream without ever serving a torn model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sampling/minibatch.hpp"
+#include "util/matrix.hpp"
+
+namespace distgnn::serve {
+
+enum class ModelKind { kSage, kGat };
+
+struct ModelSpec {
+  ModelKind kind = ModelKind::kSage;
+  int feature_dim = 0;
+  int hidden_dim = 0;
+  int num_classes = 0;
+  int num_layers = 2;
+  float leaky_slope = 0.2f;  // GAT attention LeakyReLU slope
+
+  std::size_t in_dim(int layer) const;
+  std::size_t out_dim(int layer) const;
+};
+
+/// Reusable per-worker scratch for forward_batch; grows to the largest batch
+/// seen and is never shared between threads.
+struct ForwardScratch {
+  std::vector<DenseMatrix> acts;  // acts[l] feeds layer l (stacked over batch)
+  DenseMatrix agg;                // stacked neighbourhood aggregate / weighted sum
+  DenseMatrix inv_norm;           // per-dst 1/(deg+1) column (SAGE)
+  DenseMatrix z;                  // projected features (GAT)
+  std::vector<real_t> scores;     // per-edge attention scratch (GAT)
+};
+
+class ModelSnapshot {
+ public:
+  /// Loads a checkpoint written by save_checkpoint over the corresponding
+  /// model's params() (SAGE: per layer weight then bias; GAT: per layer
+  /// weight, attn_src, attn_dst). Shape mismatches throw std::runtime_error.
+  static std::shared_ptr<const ModelSnapshot> from_checkpoint(const ModelSpec& spec,
+                                                              const std::string& path,
+                                                              std::uint64_t version);
+
+  /// Freshly initialized weights (tests and cold-start serving).
+  static std::shared_ptr<const ModelSnapshot> random(const ModelSpec& spec, std::uint64_t seed,
+                                                     std::uint64_t version);
+
+  const ModelSpec& spec() const { return spec_; }
+  std::uint64_t version() const { return version_; }
+  std::size_t num_parameters() const;
+
+  /// Writes this snapshot's weights as a checkpoint (snapshot round-trips and
+  /// the demo's hot-swap publisher use this).
+  void save(const std::string& path) const;
+
+  /// Runs the whole micro-batch through the frozen model in one pass.
+  ///
+  /// `batch` holds one independently sampled MiniBatch per request; `inputs`
+  /// is the stacked feature gather for batch[0].input_vertices ++
+  /// batch[1].input_vertices ++ ... ; `logits` receives one row per seed, in
+  /// the same request-major order. Every per-row operation (aggregation sum
+  /// in block neighbour order, i-k-j GEMM, bias, activation) touches only
+  /// that request's rows in the same order as a single-request call, so a
+  /// batched forward is bitwise-equal to per-request forwards.
+  void forward_batch(std::span<const MiniBatch> batch, ConstMatrixView inputs,
+                     ForwardScratch& scratch, DenseMatrix& logits) const;
+
+ private:
+  struct LayerWeights {
+    DenseMatrix weight;     // in x out
+    DenseMatrix bias;       // 1 x out (SAGE)
+    DenseMatrix attn_src;   // 1 x out (GAT)
+    DenseMatrix attn_dst;   // 1 x out (GAT)
+    bool relu = false;      // SAGE hidden layers
+  };
+
+  ModelSnapshot(ModelSpec spec, std::uint64_t version) : spec_(spec), version_(version) {}
+
+  void forward_sage(std::span<const MiniBatch> batch, ForwardScratch& scratch) const;
+  void forward_gat(std::span<const MiniBatch> batch, ForwardScratch& scratch) const;
+
+  ModelSpec spec_;
+  std::uint64_t version_ = 0;
+  std::vector<LayerWeights> layers_;
+};
+
+/// Atomic publication point for the live snapshot: readers get a shared_ptr
+/// (their model survives a concurrent publish), writers swap indivisibly.
+class SnapshotHolder {
+ public:
+  void publish(std::shared_ptr<const ModelSnapshot> snapshot);
+  std::shared_ptr<const ModelSnapshot> get() const;
+  std::uint64_t num_publishes() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ModelSnapshot> current_;
+  std::uint64_t publishes_ = 0;
+};
+
+}  // namespace distgnn::serve

@@ -1,0 +1,130 @@
+// Request/response types and the bounded micro-batching queue shared by the
+// single-process and sharded inference servers.
+//
+// The queue is the admission point of the serving pipeline: producers
+// (traffic generators, RPC shims) push single-vertex inference requests;
+// worker threads pop *batches* under a dynamic micro-batching policy — a
+// batch closes when it reaches `max_batch` requests or when `max_delay` has
+// elapsed since its first request was popped, whichever comes first. Bounded
+// capacity gives open-loop load a real rejection path instead of unbounded
+// queue growth.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace distgnn::serve {
+
+using ServeClock = std::chrono::steady_clock;
+
+struct InferResult {
+  std::uint64_t request_id = 0;
+  vid_t vertex = kInvalidVertex;
+  std::vector<real_t> logits;          // num_classes entries
+  double latency_seconds = 0.0;        // submit -> completion
+  std::uint64_t snapshot_version = 0;  // which model produced this answer
+};
+
+struct InferRequest {
+  std::uint64_t id = 0;
+  vid_t vertex = kInvalidVertex;
+  ServeClock::time_point enqueue{};
+  std::function<void(InferResult&&)> done;  // invoked exactly once per request
+};
+
+class BoundedRequestQueue {
+ public:
+  explicit BoundedRequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking admission; false when the queue is full or closed (the
+  /// caller counts a rejection).
+  bool try_push(InferRequest request) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || queue_.size() >= capacity_) return false;
+      queue_.push_back(std::move(request));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking admission; false only when the queue is closed.
+  bool push(InferRequest request) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+      if (closed_) return false;
+      queue_.push_back(std::move(request));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Pops the next micro-batch: blocks for the first request, then keeps
+  /// accepting until the batch is full or `max_delay` has passed since the
+  /// first pop. An empty result means the queue is closed and drained.
+  std::vector<InferRequest> pop_batch(int max_batch, std::chrono::microseconds max_delay) {
+    std::vector<InferRequest> batch;
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return batch;  // closed and drained
+
+    const auto deadline = ServeClock::now() + max_delay;
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    while (static_cast<int>(batch.size()) < max_batch) {
+      if (queue_.empty()) {
+        if (closed_) break;
+        if (!not_empty_.wait_until(lock, deadline,
+                                   [&] { return closed_ || !queue_.empty(); }))
+          break;  // delay budget exhausted
+        if (queue_.empty()) break;
+      }
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    not_full_.notify_all();
+    return batch;
+  }
+
+  /// Reopens a closed queue for admission (server restart). Only valid once
+  /// the previous consumers have drained and exited.
+  void reopen() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = false;
+  }
+
+  /// Wakes every waiter; pending requests are still drained by pop_batch.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_, not_full_;
+  std::deque<InferRequest> queue_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace distgnn::serve

@@ -1,0 +1,72 @@
+// Partition-aware sharded serving: one server loop per World rank.
+//
+// Production deployments shard the (huge) feature store, not the (compact)
+// adjacency: every rank keeps the full graph structure for sampling, but
+// holds feature rows only for the vertices it owns under a partition/libra
+// vertex-cut (a vertex's owner is the rank of its root clone, i.e. the
+// owns_label clone of partition_setup). Requests are routed to the owner
+// rank of their target vertex; when a sampled neighbourhood reaches into
+// another rank's shard, the missing rows are fetched point-to-point over the
+// World runtime and retained in the halo space of the rank's feature cache.
+//
+// Sampling uses the same request_rng(seed, vertex) stream as the
+// single-process InferenceServer, so a 2-rank sharded deployment answers
+// bitwise-identically to one server over the whole feature store — the
+// equivalence tests pin exactly that.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "graph/datasets.hpp"
+#include "partition/libra.hpp"
+#include "serve/feature_cache.hpp"
+#include "serve/model_snapshot.hpp"
+#include "serve/request_queue.hpp"
+
+namespace distgnn::serve {
+
+struct ShardedServeConfig {
+  int max_batch = 8;
+  std::vector<int> fanouts = {10, 10};
+  std::uint64_t cache_bytes = 8ull << 20;
+  int cache_shards = 4;
+  std::uint64_t sample_seed = 1;
+};
+
+struct ShardedRankStats {
+  std::uint64_t served = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t halo_rows_fetched = 0;  // rows that crossed a rank boundary
+  std::uint64_t halo_bytes = 0;
+  CacheStats local_cache;  // space 0: owned rows
+  CacheStats halo_cache;   // space 1: remote rows
+};
+
+struct ShardedServeReport {
+  std::vector<InferResult> results;  // aligned with the request span
+  std::vector<part_t> owner;         // vertex -> owning rank (the routing table)
+  std::vector<ShardedRankStats> per_rank;
+
+  std::uint64_t total_halo_rows() const;
+};
+
+/// Vertex -> owning rank from a vertex-cut partition: the rank whose clone
+/// carries owns_label. Vertices absent from every partition (isolated) fall
+/// back to round-robin so every vertex has a feature home.
+std::vector<part_t> vertex_owners(const EdgeList& edges, const EdgePartition& partition,
+                                  vid_t num_vertices);
+
+/// Serves `requests` with one server per World rank (world.num_ranks() must
+/// equal partition.num_parts). Each request is routed to the owner of its
+/// vertex; results come back aligned with the input order.
+ShardedServeReport serve_sharded(World& world, const Dataset& dataset,
+                                 const EdgePartition& partition,
+                                 std::shared_ptr<const ModelSnapshot> snapshot,
+                                 std::span<const vid_t> requests,
+                                 const ShardedServeConfig& config);
+
+}  // namespace distgnn::serve

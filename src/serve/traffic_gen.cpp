@@ -1,0 +1,249 @@
+#include "serve/traffic_gen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <stdexcept>
+#include <thread>
+
+#include "util/table.hpp"
+
+namespace distgnn::serve {
+
+void LatencyRecorder::record(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(seconds);
+}
+
+std::size_t LatencyRecorder::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+double LatencyRecorder::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  const auto idx = static_cast<std::size_t>(
+      std::clamp(q, 0.0, 1.0) * static_cast<double>(sorted.size() - 1) + 0.5);
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(idx), sorted.end());
+  return sorted[idx];
+}
+
+double LatencyRecorder::mean_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) return 0.0;
+  double total = 0;
+  for (const double s : samples_) total += s;
+  return total / static_cast<double>(samples_.size());
+}
+
+std::vector<LatencyRecorder::Bucket> LatencyRecorder::histogram() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Bucket> buckets;
+  for (const double s : samples_) {
+    double upper = 1e-6;  // first bucket: < 1µs
+    while (s >= upper) upper *= 2;
+    auto it = std::find_if(buckets.begin(), buckets.end(),
+                           [&](const Bucket& b) { return b.upper_seconds == upper; });
+    if (it == buckets.end()) {
+      buckets.push_back({upper, 1});
+    } else {
+      ++it->count;
+    }
+  }
+  std::sort(buckets.begin(), buckets.end(),
+            [](const Bucket& a, const Bucket& b) { return a.upper_seconds < b.upper_seconds; });
+  return buckets;
+}
+
+std::vector<double> generate_arrivals(const ArrivalConfig& config, std::size_t count) {
+  std::vector<double> arrivals;
+  arrivals.reserve(count);
+  Rng rng(config.seed);
+  const auto exponential = [&rng](double mean) {
+    double u = rng.next_double();
+    while (u <= 1e-300) u = rng.next_double();
+    return -mean * std::log(u);
+  };
+
+  if (config.process == ArrivalProcess::kPoisson) {
+    if (config.rate <= 0) throw std::invalid_argument("generate_arrivals: rate must be > 0");
+    double t = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      t += exponential(1.0 / config.rate);
+      arrivals.push_back(t);
+    }
+    return arrivals;
+  }
+
+  // 2-state MMPP: Poisson arrivals at the current state's rate; state
+  // sojourns are exponential. A candidate arrival beyond the sojourn end is
+  // discarded and redrawn in the next state (memorylessness makes this
+  // exact).
+  if (config.mmpp_rate0 <= 0 || config.mmpp_rate1 <= 0 || config.mmpp_hold0 <= 0 ||
+      config.mmpp_hold1 <= 0)
+    throw std::invalid_argument("generate_arrivals: MMPP rates/holds must be > 0");
+  double t = 0;
+  int state = 0;
+  double state_end = exponential(config.mmpp_hold0);
+  while (arrivals.size() < count) {
+    const double rate = state == 0 ? config.mmpp_rate0 : config.mmpp_rate1;
+    const double candidate = t + exponential(1.0 / rate);
+    if (candidate < state_end) {
+      t = candidate;
+      arrivals.push_back(t);
+    } else {
+      t = state_end;
+      state = 1 - state;
+      state_end = t + exponential(state == 0 ? config.mmpp_hold0 : config.mmpp_hold1);
+    }
+  }
+  return arrivals;
+}
+
+double index_of_dispersion(std::span<const double> arrivals, double window_seconds) {
+  if (arrivals.empty() || window_seconds <= 0) return 0.0;
+  const double span = arrivals.back();
+  const auto num_windows = static_cast<std::size_t>(span / window_seconds);
+  if (num_windows < 2) return 0.0;
+  std::vector<std::size_t> counts(num_windows, 0);
+  for (const double t : arrivals) {
+    const auto w = static_cast<std::size_t>(t / window_seconds);
+    if (w < num_windows) ++counts[w];
+  }
+  double mean = 0;
+  for (const std::size_t c : counts) mean += static_cast<double>(c);
+  mean /= static_cast<double>(num_windows);
+  if (mean == 0) return 0.0;
+  double var = 0;
+  for (const std::size_t c : counts) {
+    const double d = static_cast<double>(c) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(num_windows);
+  return var / mean;
+}
+
+std::string render_load_reports(std::span<const LoadReport> reports, const std::string& title) {
+  TextTable table({"load", "offered", "done", "rejected", "QPS", "mean ms", "p50 ms", "p95 ms",
+                   "p99 ms", "batch"});
+  for (const LoadReport& r : reports)
+    table.add_row({r.label, TextTable::fmt_int(static_cast<long long>(r.offered)),
+                   TextTable::fmt_int(static_cast<long long>(r.completed)),
+                   TextTable::fmt_int(static_cast<long long>(r.rejected)), TextTable::fmt(r.qps, 0),
+                   TextTable::fmt(r.mean_ms), TextTable::fmt(r.p50_ms), TextTable::fmt(r.p95_ms),
+                   TextTable::fmt(r.p99_ms), TextTable::fmt(r.mean_batch, 2)});
+  return table.render(title);
+}
+
+TrafficGenerator::TrafficGenerator(InferenceServer& server, std::uint64_t seed)
+    : server_(server), rng_(seed) {}
+
+vid_t TrafficGenerator::random_vertex() {
+  return static_cast<vid_t>(
+      rng_.next_below(static_cast<std::uint64_t>(server_.dataset().num_vertices())));
+}
+
+LoadReport TrafficGenerator::finish(const std::string& label, double duration,
+                                    std::uint64_t offered, std::uint64_t completed,
+                                    std::uint64_t rejected, const LatencyRecorder& latencies,
+                                    std::uint64_t batches_delta,
+                                    std::uint64_t batched_requests_delta) const {
+  LoadReport report;
+  report.label = label;
+  report.duration_seconds = duration;
+  report.offered = offered;
+  report.completed = completed;
+  report.rejected = rejected;
+  report.qps = duration > 0 ? static_cast<double>(completed) / duration : 0.0;
+  report.mean_ms = latencies.mean_seconds() * 1e3;
+  report.p50_ms = latencies.quantile(0.50) * 1e3;
+  report.p95_ms = latencies.quantile(0.95) * 1e3;
+  report.p99_ms = latencies.quantile(0.99) * 1e3;
+  report.mean_batch = batches_delta == 0 ? 0.0
+                                         : static_cast<double>(batched_requests_delta) /
+                                               static_cast<double>(batches_delta);
+  return report;
+}
+
+LoadReport TrafficGenerator::run_closed_loop(int num_clients, int requests_each) {
+  if (num_clients < 1 || requests_each < 1)
+    throw std::invalid_argument("run_closed_loop: clients and requests must be >= 1");
+  const ServerStats before = server_.stats();
+  LatencyRecorder latencies;
+
+  // Hand each client its own pre-drawn vertex list so the workload is
+  // deterministic regardless of thread interleaving.
+  std::vector<std::vector<vid_t>> targets(static_cast<std::size_t>(num_clients));
+  for (auto& list : targets) {
+    list.reserve(static_cast<std::size_t>(requests_each));
+    for (int i = 0; i < requests_each; ++i) list.push_back(random_vertex());
+  }
+
+  const auto begin = ServeClock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(num_clients));
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (const vid_t v : targets[static_cast<std::size_t>(c)]) {
+        const InferResult result = server_.infer_sync(v);
+        latencies.record(result.latency_seconds);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double duration = std::chrono::duration<double>(ServeClock::now() - begin).count();
+
+  const ServerStats after = server_.stats();
+  const auto total = static_cast<std::uint64_t>(num_clients) *
+                     static_cast<std::uint64_t>(requests_each);
+  return finish("closed(" + std::to_string(num_clients) + ")", duration, total, total, 0,
+                latencies, after.batches - before.batches,
+                after.batched_requests - before.batched_requests);
+}
+
+LoadReport TrafficGenerator::run_open_loop(const ArrivalConfig& arrivals,
+                                           std::size_t num_requests) {
+  const std::vector<double> offsets = generate_arrivals(arrivals, num_requests);
+  std::vector<vid_t> targets;
+  targets.reserve(num_requests);
+  for (std::size_t i = 0; i < num_requests; ++i) targets.push_back(random_vertex());
+
+  const ServerStats before = server_.stats();
+  LatencyRecorder latencies;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t accounted = 0;
+  std::uint64_t rejected = 0;
+  const auto account = [&](bool was_rejected) {
+    std::lock_guard<std::mutex> lock(done_mutex);
+    if (was_rejected) ++rejected;
+    ++accounted;
+    if (accounted == num_requests) done_cv.notify_all();
+  };
+
+  const auto begin = ServeClock::now();
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    std::this_thread::sleep_until(begin + std::chrono::duration<double>(offsets[i]));
+    const bool accepted = server_.submit(targets[i], [&](InferResult&& result) {
+      latencies.record(result.latency_seconds);
+      account(false);
+    });
+    if (!accepted) account(true);
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return accounted == num_requests; });
+  }
+  const double duration = std::chrono::duration<double>(ServeClock::now() - begin).count();
+
+  const ServerStats after = server_.stats();
+  const std::string label =
+      arrivals.process == ArrivalProcess::kPoisson ? "poisson" : "mmpp";
+  return finish(label, duration, num_requests, num_requests - rejected, rejected, latencies,
+                after.batches - before.batches, after.batched_requests - before.batched_requests);
+}
+
+}  // namespace distgnn::serve

@@ -1,0 +1,106 @@
+// Load generation for the inference server: closed-loop clients (a fixed
+// fleet of blocking callers — classic replay) and open-loop arrival-driven
+// drivers, where requests land at scheduled instants whether or not the
+// server has kept up. Open-loop is the mode that actually stresses a serving
+// stack, and real traffic is bursty: besides Poisson we generate a 2-state
+// Markov-modulated Poisson process (MMPP), whose count variance exceeds its
+// mean (index of dispersion > 1, Asanjarani & Nazarathy, arXiv:1802.08400),
+// so queue-delay tails appear at mean rates a Poisson test would shrug off.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/inference_server.hpp"
+#include "util/rng.hpp"
+
+namespace distgnn::serve {
+
+/// Thread-safe latency sink: exact quantiles from retained samples plus a
+/// log2-bucketed histogram for printing.
+class LatencyRecorder {
+ public:
+  void record(double seconds);
+  std::size_t count() const;
+  double quantile(double q) const;  // q in [0, 1]; 0 samples -> 0
+  double mean_seconds() const;
+
+  struct Bucket {
+    double upper_seconds = 0;  // exclusive upper bound
+    std::size_t count = 0;
+  };
+  /// Non-empty log2 buckets from 1µs upward, in ascending order.
+  std::vector<Bucket> histogram() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+};
+
+enum class ArrivalProcess { kPoisson, kMmpp };
+
+struct ArrivalConfig {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  double rate = 1000.0;  // Poisson: mean requests/second
+
+  // 2-state MMPP: Poisson at rate{0,1} while in the state, exponential
+  // sojourns with the given mean. Defaults give a quiet state and a burst
+  // state with the same long-run mean rate as `rate` ~ 1000/s.
+  double mmpp_rate0 = 250.0;
+  double mmpp_rate1 = 4000.0;
+  double mmpp_hold0 = 0.040;  // mean seconds in state 0
+  double mmpp_hold1 = 0.010;  // mean seconds in state 1
+
+  std::uint64_t seed = 7;
+};
+
+/// `count` arrival offsets in seconds from t=0, ascending. Deterministic for
+/// a fixed config.
+std::vector<double> generate_arrivals(const ArrivalConfig& config, std::size_t count);
+
+/// Variance-to-mean ratio of arrival counts over fixed windows — ~1 for
+/// Poisson, >1 for bursty MMPP. Needs at least two full windows.
+double index_of_dispersion(std::span<const double> arrivals, double window_seconds);
+
+struct LoadReport {
+  std::string label;
+  double duration_seconds = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  double qps = 0;  // completed / duration
+  double mean_ms = 0, p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  double mean_batch = 0;  // server-side micro-batch occupancy during the run
+};
+
+/// One row per report, rendered through util/table.
+std::string render_load_reports(std::span<const LoadReport> reports, const std::string& title);
+
+class TrafficGenerator {
+ public:
+  /// Queries target uniformly random vertices of the server's dataset,
+  /// deterministically from `seed`.
+  TrafficGenerator(InferenceServer& server, std::uint64_t seed);
+
+  /// `num_clients` threads each issue `requests_each` blocking queries.
+  LoadReport run_closed_loop(int num_clients, int requests_each);
+
+  /// Submits `num_requests` at the configured arrival instants and waits for
+  /// the queue to drain. Requests bouncing off the full queue are rejections.
+  LoadReport run_open_loop(const ArrivalConfig& arrivals, std::size_t num_requests);
+
+ private:
+  vid_t random_vertex();
+  LoadReport finish(const std::string& label, double duration, std::uint64_t offered,
+                    std::uint64_t completed, std::uint64_t rejected,
+                    const LatencyRecorder& latencies, std::uint64_t batches_delta,
+                    std::uint64_t batched_requests_delta) const;
+
+  InferenceServer& server_;
+  Rng rng_;
+};
+
+}  // namespace distgnn::serve

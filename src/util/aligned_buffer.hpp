@@ -30,8 +30,18 @@ class AlignedBuffer {
     return *this;
   }
 
-  AlignedBuffer(AlignedBuffer&&) noexcept = default;
-  AlignedBuffer& operator=(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::move(other.data_)),
+        size_(std::exchange(other.size_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      data_ = std::move(other.data_);
+      size_ = std::exchange(other.size_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
+    }
+    return *this;
+  }
 
   void assign(std::size_t n, T fill = T{}) {
     allocate(n);
@@ -65,9 +75,11 @@ class AlignedBuffer {
   };
 
   void allocate(std::size_t n) {
-    if (n == 0) {
-      data_.reset();
-      size_ = 0;
+    // Shrinking (or equal-size) reuse keeps the existing allocation: the
+    // serving and training hot paths resize_discard their scratch matrices
+    // every batch, and the steady state must be allocation-free.
+    if (n <= capacity_) {
+      size_ = n;
       return;
     }
     const std::size_t bytes = ((n * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes) * kCacheLineBytes;
@@ -75,10 +87,12 @@ class AlignedBuffer {
     if (p == nullptr) throw std::bad_alloc{};
     data_.reset(static_cast<T*>(p));
     size_ = n;
+    capacity_ = bytes / sizeof(T);
   }
 
   std::unique_ptr<T[], FreeDeleter> data_;
   std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
 };
 
 }  // namespace distgnn

@@ -1,6 +1,8 @@
 #include "util/options.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace distgnn {
 
@@ -24,6 +26,21 @@ Options::Options(int argc, const char* const* argv) {
 }
 
 bool Options::has(const std::string& key) const { return values_.count(key) > 0; }
+
+void Options::require_known(std::initializer_list<const char*> known) const {
+  std::string unknown;
+  for (const auto& [key, _] : values_) {
+    if (std::find_if(known.begin(), known.end(),
+                     [&](const char* k) { return key == k; }) != known.end())
+      continue;
+    if (!unknown.empty()) unknown += ", ";
+    unknown += "--" + key;
+  }
+  if (unknown.empty()) return;
+  std::string help = "unknown flag(s): " + unknown + "; known flags:";
+  for (const char* k : known) help += std::string(" --") + k;
+  throw std::invalid_argument(help);
+}
 
 std::string Options::get(const std::string& key, const std::string& fallback) const {
   const auto it = values_.find(key);

@@ -21,6 +21,11 @@ class Options {
   /// Positional (non --key) arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Strict mode: throws std::invalid_argument naming every parsed --key not
+  /// in `known`, so binaries can reject typos like --bacth=8 instead of
+  /// silently falling back to defaults.
+  void require_known(std::initializer_list<const char*> known) const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;

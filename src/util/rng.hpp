@@ -9,6 +9,16 @@
 
 namespace distgnn {
 
+/// splitmix64 finalizer: a cheap, high-quality 64-bit mix. Shared by Rng
+/// seeding, per-request sampling streams, and cache shard selection so all
+/// id-spreading in the tree uses one function.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
@@ -17,11 +27,8 @@ class Rng {
     // splitmix64 expansion of the seed into the 256-bit state.
     std::uint64_t z = seed;
     for (auto& s : state_) {
+      s = splitmix64(z);
       z += 0x9e3779b97f4a7c15ULL;
-      std::uint64_t x = z;
-      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-      s = x ^ (x >> 31);
     }
   }
 

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <cstdint>
 #include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "util/aligned_buffer.hpp"
 #include "util/matrix.hpp"
@@ -171,6 +174,25 @@ TEST(Options, DefaultsWhenAbsent) {
   Options opts(1, argv);
   EXPECT_EQ(opts.get("name", "fallback"), "fallback");
   EXPECT_DOUBLE_EQ(opts.get_double("x", 2.5), 2.5);
+}
+
+TEST(Options, RequireKnownAcceptsValidFlags) {
+  const char* argv[] = {"prog", "--rate=100", "--workers=2"};
+  Options opts(3, argv);
+  EXPECT_NO_THROW(opts.require_known({"rate", "workers", "batch"}));
+}
+
+TEST(Options, RequireKnownRejectsUnknownFlags) {
+  const char* argv[] = {"prog", "--rate=100", "--wrokers=2"};  // typo
+  Options opts(3, argv);
+  try {
+    opts.require_known({"rate", "workers"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The message names the offending flag and lists the valid ones.
+    EXPECT_NE(std::string(e.what()).find("--wrokers"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("--workers"), std::string::npos);
+  }
 }
 
 }  // namespace
