@@ -1,12 +1,14 @@
 // Serving-path benchmarks: micro-batched forward throughput, closed-loop
 // QPS, and open-loop tail latency under Poisson and bursty 2-state MMPP
-// arrivals. QPS and p50/p95/p99 are exported as counters so CI's
-// --benchmark_format=json artifact carries the full serving trajectory.
+// arrivals. QPS, p50/p95/p99/p99.9, and the log2 latency histogram are
+// exported as counters so CI's --benchmark_format=json artifact carries the
+// full serving trajectory including the tail shape.
 #include <benchmark/benchmark.h>
 
 #include <memory>
 #include <vector>
 
+#include "bench_serving_common.hpp"
 #include "graph/datasets.hpp"
 #include "serve/inference_server.hpp"
 #include "serve/model_snapshot.hpp"
@@ -59,8 +61,10 @@ void attach_report(benchmark::State& state, const LoadReport& report) {
   state.counters["p50_ms"] = report.p50_ms;
   state.counters["p95_ms"] = report.p95_ms;
   state.counters["p99_ms"] = report.p99_ms;
+  state.counters["p99_9_ms"] = report.p999_ms;
   state.counters["mean_batch"] = report.mean_batch;
   state.counters["rejected"] = static_cast<double>(report.rejected);
+  bench::attach_histogram_counters(state, report);
 }
 
 /// Raw model-side throughput of the stacked micro-batch forward, swept over
@@ -147,4 +151,6 @@ BENCHMARK(BM_OpenLoop_Mmpp)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond)
 }  // namespace
 }  // namespace distgnn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return distgnn::bench::run_strict_benchmark_main(argc, argv, "bench_serving", {});
+}

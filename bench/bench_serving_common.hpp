@@ -1,0 +1,49 @@
+// Shared helpers for the serving benchmarks (bench_serving,
+// bench_replication_serving): latency-histogram counters with one canonical
+// key format, and the strict-flag main() body — so the two binaries' JSON
+// artifact schemas cannot silently diverge.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <initializer_list>
+#include <string>
+
+#include "serve/traffic_gen.hpp"
+#include "util/options.hpp"
+
+namespace distgnn::bench {
+
+/// Log2 histogram buckets as hist_le_<upper-µs>us counters: the JSON
+/// artifact keeps the whole latency distribution, not just quantiles.
+inline void attach_histogram_counters(benchmark::State& state, const serve::LoadReport& report) {
+  for (const serve::LatencyRecorder::Bucket& b : report.histogram)
+    state.counters["hist_le_" + std::to_string(std::llround(b.upper_seconds * 1e6)) + "us"] =
+        static_cast<double>(b.count);
+}
+
+/// BENCHMARK_MAIN body with strict flag validation: benchmark::Initialize
+/// consumes every --benchmark_* flag, so whatever survives must be in
+/// `known` (read back through `apply`) or the binary exits 2 instead of
+/// silently benchmarking defaults.
+inline int run_strict_benchmark_main(int argc, char** argv, const char* binary_name,
+                                     std::initializer_list<const char*> known,
+                                     const std::function<void(const Options&)>& apply = {}) {
+  benchmark::Initialize(&argc, argv);
+  try {
+    const Options opts(argc, argv);
+    opts.require_known(known);
+    if (apply) apply(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", binary_name, e.what());
+    return 2;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace distgnn::bench

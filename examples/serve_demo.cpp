@@ -7,6 +7,13 @@
 //   ./serve_demo [--vertices=2048] [--epochs=20] [--workers=2] [--batch=8]
 //                [--delay-us=200] [--arrival=mmpp|poisson] [--rate=2000]
 //                [--requests=400] [--clients=4] [--seed=1]
+//                [--replicas=2] [--policy=p2c|round-robin|least-outstanding]
+//                [--deadline-ms=20] [--low-frac=0.3] [--no-shed]
+//
+// After the single-server stages, the same snapshot goes to a replicated
+// tier: a ReplicaGroup of --replicas servers fronted by a Router with the
+// chosen load-balancing policy and deadline-aware admission control, driven
+// by the same arrival process at the same rate.
 //
 // Unknown flags are rejected (util/options strict mode) so typos fail loudly.
 #include <algorithm>
@@ -19,6 +26,8 @@
 #include "nn/serialize.hpp"
 #include "serve/inference_server.hpp"
 #include "serve/model_snapshot.hpp"
+#include "serve/replica_group.hpp"
+#include "serve/router.hpp"
 #include "serve/traffic_gen.hpp"
 #include "util/options.hpp"
 
@@ -28,6 +37,9 @@ using namespace distgnn::serve;
 namespace {
 
 int run_demo(const Options& opts) {
+  // Fail on a bad --policy value before any training work happens.
+  const RoutePolicy policy = parse_route_policy(opts.get("policy", "p2c"));
+
   // 1. Train a model worth serving.
   LearnableSbmParams params;
   params.num_vertices = opts.get_int("vertices", 2048);
@@ -114,6 +126,50 @@ int run_demo(const Options& opts) {
   std::printf("serving summary: QPS=%.0f p50_ms=%.3f p99_ms=%.3f rejected=%llu\n", open.qps,
               open.p50_ms, open.p99_ms, static_cast<unsigned long long>(open.rejected));
   server.stop();
+
+  // 5. Replicated tier: the v2 snapshot published to a ReplicaGroup as one
+  //    version-barriered group operation, fronted by a Router with deadline
+  //    admission and a low-priority shed lane, under the same arrival
+  //    process at the same offered rate.
+  const int replicas = std::max(1, static_cast<int>(opts.get_int("replicas", 2)));
+  ReplicaGroup group(dataset, serve_cfg, replicas);
+  group.publish(server.snapshot());
+  group.start();
+
+  AdmissionConfig admission;
+  admission.shed_deadlines = !opts.get_bool("no-shed", false);
+  admission.low_priority_depth = serve_cfg.queue_capacity / 8;
+  Router router(group, policy, admission);
+  std::printf("replicated tier: %d replicas, %s routing, group version %llu\n", replicas,
+              route_policy_name(policy).c_str(),
+              static_cast<unsigned long long>(group.version()));
+
+  // Closed-loop warmup primes the service-rate estimate admission divides by.
+  std::vector<vid_t> warmup;
+  for (vid_t v = 0; v < 32; ++v)
+    warmup.push_back((v * 131) % static_cast<vid_t>(dataset.num_vertices()));
+  (void)router.infer_batch(warmup);
+  const RouterStats warmed = router.stats();  // report the measured run only
+
+  RouterLoadConfig load;
+  load.arrivals = arrivals;
+  load.num_requests = requests;
+  load.deadline_seconds = opts.get_double("deadline-ms", 20.0) * 1e-3;
+  load.low_priority_fraction = opts.get_double("low-frac", 0.3);
+  load.seed = serve_cfg.sample_seed;
+  const LoadReport replicated = run_router_open_loop(router, load);
+  group.stop();
+
+  std::printf("%s\n",
+              render_load_reports(std::vector<LoadReport>{replicated}, "replicated tier").c_str());
+  const RouterStats rstats = router.stats().since(warmed);
+  std::printf("admission: %llu admitted, shed %llu deadline / %llu priority / %llu queue-full\n",
+              static_cast<unsigned long long>(rstats.admitted),
+              static_cast<unsigned long long>(rstats.shed_deadline),
+              static_cast<unsigned long long>(rstats.shed_priority),
+              static_cast<unsigned long long>(rstats.shed_queue_full));
+  std::printf("replicated summary: QPS=%.0f p99_ms=%.3f p99_9_ms=%.3f shed_rate=%.3f\n",
+              replicated.qps, replicated.p99_ms, replicated.p999_ms, rstats.shed_rate());
   return 0;
 }
 
@@ -123,7 +179,8 @@ int main(int argc, char** argv) {
   const Options opts(argc, argv);
   try {
     opts.require_known({"vertices", "epochs", "workers", "batch", "delay-us", "arrival", "rate",
-                        "requests", "clients", "seed", "checkpoint"});
+                        "requests", "clients", "seed", "checkpoint", "replicas", "policy",
+                        "deadline-ms", "low-frac", "no-shed"});
     return run_demo(opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "serve_demo: %s\n", e.what());

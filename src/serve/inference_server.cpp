@@ -55,12 +55,19 @@ void InferenceServer::stop() {
 }
 
 bool InferenceServer::submit(vid_t vertex, std::function<void(InferResult&&)> done) {
+  return submit(vertex, ServeClock::time_point::max(), Priority::kHigh, std::move(done));
+}
+
+bool InferenceServer::submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+                             std::function<void(InferResult&&)> done) {
   if (vertex < 0 || vertex >= dataset_.num_vertices())
     throw std::out_of_range("InferenceServer: vertex id out of range");
   InferRequest request;
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   request.vertex = vertex;
   request.enqueue = ServeClock::now();
+  request.deadline = deadline;
+  request.priority = priority;
   request.done = std::move(done);
   if (queue_.try_push(std::move(request))) return true;
   rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -94,6 +101,7 @@ void InferenceServer::worker_loop() {
 void InferenceServer::process_batch(std::vector<InferRequest>&& batch, ForwardScratch& scratch,
                                     std::vector<MiniBatch>& minibatches, DenseMatrix& inputs,
                                     DenseMatrix& logits) {
+  const auto service_begin = ServeClock::now();
   const std::shared_ptr<const ModelSnapshot> snapshot = holder_.get();
   const CsrMatrix& in_csr = dataset_.graph.in_csr();
   const std::size_t f = static_cast<std::size_t>(dataset_.feature_dim());
@@ -136,6 +144,11 @@ void InferenceServer::process_batch(std::vector<InferRequest>&& batch, ForwardSc
     if (batch[r].done) batch[r].done(std::move(result));
   }
 
+  service_ns_.fetch_add(
+      static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                     ServeClock::now() - service_begin)
+                                     .count()),
+      std::memory_order_relaxed);
   completed_.fetch_add(batch.size(), std::memory_order_relaxed);
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
@@ -145,6 +158,15 @@ void InferenceServer::process_batch(std::vector<InferRequest>&& batch, ForwardSc
   }
 }
 
+double InferenceServer::mean_service_seconds() const {
+  // Two atomic loads only — this sits on the per-request admission path, so
+  // it must not take the cache-stats locks a full stats() call would.
+  ServerStats s;
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.service_seconds = static_cast<double>(service_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return s.mean_service_seconds();
+}
+
 ServerStats InferenceServer::stats() const {
   ServerStats s;
   s.completed = completed_.load(std::memory_order_relaxed);
@@ -152,6 +174,8 @@ ServerStats InferenceServer::stats() const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
   s.max_batch_seen = max_batch_seen_.load(std::memory_order_relaxed);
+  s.service_seconds = static_cast<double>(service_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  s.queue_depth = queue_.size();
   s.feature_cache = cache_.stats(/*space=*/0);
   return s;
 }

@@ -44,10 +44,17 @@ struct ServerStats {
   std::uint64_t batches = 0;
   std::uint64_t batched_requests = 0;  // Σ batch sizes (== completed)
   std::uint64_t max_batch_seen = 0;
+  double service_seconds = 0;     // Σ worker time spent inside process_batch
+  std::size_t queue_depth = 0;    // requests waiting at the time of the call
   CacheStats feature_cache;  // space 0: local feature rows
 
   double mean_batch() const {
     return batches == 0 ? 0.0 : static_cast<double>(batched_requests) / static_cast<double>(batches);
+  }
+  /// Amortized per-request service time — the rate the admission controller
+  /// multiplies queue depth by to decide whether a deadline is meetable.
+  double mean_service_seconds() const {
+    return completed == 0 ? 0.0 : service_seconds / static_cast<double>(completed);
   }
 };
 
@@ -78,8 +85,19 @@ class InferenceServer {
   /// Asynchronous submission; `done` runs on a worker thread. Returns false
   /// (and counts a rejection) when the bounded queue is full.
   bool submit(vid_t vertex, std::function<void(InferResult&&)> done);
+  /// Submission with admission-control metadata (router path). The server
+  /// itself never drops on deadline — that decision belongs to the router.
+  bool submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+              std::function<void(InferResult&&)> done);
   /// Blocking convenience wrapper for closed-loop clients and tests.
   InferResult infer_sync(vid_t vertex);
+
+  /// Requests currently waiting in the bounded queue (excludes in-service
+  /// batches); the signal power-of-two-choices routing compares.
+  std::size_t queue_depth() const { return queue_.size(); }
+  /// Amortized per-request service time observed so far (0 until the first
+  /// batch completes).
+  double mean_service_seconds() const;
 
   ServerStats stats() const;
   const ServeConfig& config() const { return config_; }
@@ -105,6 +123,7 @@ class InferenceServer {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_requests_{0};
   std::atomic<std::uint64_t> max_batch_seen_{0};
+  std::atomic<std::uint64_t> service_ns_{0};
 };
 
 }  // namespace distgnn::serve

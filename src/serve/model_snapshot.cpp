@@ -53,27 +53,37 @@ std::size_t ModelSpec::out_dim(int layer) const {
   return static_cast<std::size_t>(layer == num_layers - 1 ? num_classes : hidden_dim);
 }
 
-std::shared_ptr<const ModelSnapshot> ModelSnapshot::random(const ModelSpec& spec,
-                                                           std::uint64_t seed,
-                                                           std::uint64_t version) {
+std::shared_ptr<ModelSnapshot> ModelSnapshot::allocate(const ModelSpec& spec,
+                                                       std::uint64_t version) {
   if (spec.num_layers < 1) throw std::invalid_argument("ModelSnapshot: num_layers must be >= 1");
   auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot(spec, version));
-  Rng rng(seed);
   for (int l = 0; l < spec.num_layers; ++l) {
     LayerWeights lw;
     const std::size_t in = spec.in_dim(l), out = spec.out_dim(l);
     lw.weight = DenseMatrix(in, out);
-    xavier_uniform(lw.weight.view(), in, out, rng);
     if (spec.kind == ModelKind::kSage) {
       lw.bias = DenseMatrix(1, out);
       lw.relu = l != spec.num_layers - 1;
     } else {
       lw.attn_src = DenseMatrix(1, out);
       lw.attn_dst = DenseMatrix(1, out);
-      xavier_uniform(lw.attn_src.view(), out, 1, rng);
-      xavier_uniform(lw.attn_dst.view(), out, 1, rng);
     }
     snap->layers_.push_back(std::move(lw));
+  }
+  return snap;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::random(const ModelSpec& spec,
+                                                           std::uint64_t seed,
+                                                           std::uint64_t version) {
+  auto snap = allocate(spec, version);
+  Rng rng(seed);
+  for (LayerWeights& lw : snap->layers_) {
+    xavier_uniform(lw.weight.view(), lw.weight.rows(), lw.weight.cols(), rng);
+    if (spec.kind == ModelKind::kGat) {
+      xavier_uniform(lw.attn_src.view(), lw.weight.cols(), 1, rng);
+      xavier_uniform(lw.attn_dst.view(), lw.weight.cols(), 1, rng);
+    }
   }
   return snap;
 }
@@ -85,8 +95,7 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::from_checkpoint(const ModelS
   // against) them. The ParamRef order must match the corresponding trained
   // model's params(): SAGE = per layer weight, bias; GAT = per layer weight,
   // attn_src, attn_dst.
-  auto snap =
-      std::const_pointer_cast<ModelSnapshot>(random(spec, /*seed=*/0, version));
+  auto snap = allocate(spec, version);
   std::vector<ParamRef> refs;
   for (LayerWeights& lw : snap->layers_) {
     refs.push_back({lw.weight.data(), nullptr, lw.weight.size()});
@@ -99,6 +108,49 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::from_checkpoint(const ModelS
   }
   load_checkpoint(refs, path);
   return snap;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::from_flat(const ModelSpec& spec,
+                                                              std::span<const real_t> flat,
+                                                              std::uint64_t version) {
+  auto snap = allocate(spec, version);
+  std::size_t off = 0;
+  const auto take = [&](DenseMatrix& dst) {
+    if (off + dst.size() > flat.size())
+      throw std::runtime_error("ModelSnapshot::from_flat: payload too small for spec");
+    std::copy(flat.data() + off, flat.data() + off + dst.size(), dst.data());
+    off += dst.size();
+  };
+  for (LayerWeights& lw : snap->layers_) {
+    take(lw.weight);
+    if (spec.kind == ModelKind::kSage) {
+      take(lw.bias);
+    } else {
+      take(lw.attn_src);
+      take(lw.attn_dst);
+    }
+  }
+  if (off != flat.size())
+    throw std::runtime_error("ModelSnapshot::from_flat: payload larger than spec");
+  return snap;
+}
+
+std::vector<real_t> ModelSnapshot::flatten() const {
+  std::vector<real_t> flat;
+  flat.reserve(num_parameters());
+  const auto put = [&](const DenseMatrix& src) {
+    flat.insert(flat.end(), src.data(), src.data() + src.size());
+  };
+  for (const LayerWeights& lw : layers_) {
+    put(lw.weight);
+    if (spec_.kind == ModelKind::kSage) {
+      put(lw.bias);
+    } else {
+      put(lw.attn_src);
+      put(lw.attn_dst);
+    }
+  }
+  return flat;
 }
 
 std::size_t ModelSnapshot::num_parameters() const {

@@ -62,6 +62,12 @@ class ModelSnapshot {
   static std::shared_ptr<const ModelSnapshot> random(const ModelSpec& spec, std::uint64_t seed,
                                                      std::uint64_t version);
 
+  /// Rebuilds a snapshot from flatten()'s layout — the receive side of the
+  /// group-broadcast publication path. A size mismatch throws.
+  static std::shared_ptr<const ModelSnapshot> from_flat(const ModelSpec& spec,
+                                                        std::span<const real_t> flat,
+                                                        std::uint64_t version);
+
   const ModelSpec& spec() const { return spec_; }
   std::uint64_t version() const { return version_; }
   std::size_t num_parameters() const;
@@ -69,6 +75,10 @@ class ModelSnapshot {
   /// Writes this snapshot's weights as a checkpoint (snapshot round-trips and
   /// the demo's hot-swap publisher use this).
   void save(const std::string& path) const;
+
+  /// All weights in checkpoint order as one contiguous buffer — the wire
+  /// format broadcast to replica ranks (see serve::broadcast_snapshot).
+  std::vector<real_t> flatten() const;
 
   /// Runs the whole micro-batch through the frozen model in one pass.
   ///
@@ -92,6 +102,10 @@ class ModelSnapshot {
   };
 
   ModelSnapshot(ModelSpec spec, std::uint64_t version) : spec_(spec), version_(version) {}
+
+  /// Shapes every layer (zero weights, relu flags set) without drawing any
+  /// random numbers — the base for every loader that overwrites the values.
+  static std::shared_ptr<ModelSnapshot> allocate(const ModelSpec& spec, std::uint64_t version);
 
   void forward_sage(std::span<const MiniBatch> batch, ForwardScratch& scratch) const;
   void forward_gat(std::span<const MiniBatch> batch, ForwardScratch& scratch) const;

@@ -1,0 +1,110 @@
+#include "serve/replica_group.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace distgnn::serve {
+
+ReplicaGroup::ReplicaGroup(const Dataset& dataset, ServeConfig config, int num_replicas)
+    : dataset_(dataset) {
+  if (num_replicas < 1) throw std::invalid_argument("ReplicaGroup: need >= 1 replica");
+  replicas_.reserve(static_cast<std::size_t>(num_replicas));
+  for (int r = 0; r < num_replicas; ++r)
+    replicas_.push_back(std::make_unique<InferenceServer>(dataset, config));
+}
+
+ReplicaGroup::~ReplicaGroup() { stop(); }
+
+void ReplicaGroup::publish(std::shared_ptr<const ModelSnapshot> snapshot) {
+  if (!snapshot) throw std::invalid_argument("ReplicaGroup: null snapshot");
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return !publishing_; });  // one publisher at a time
+  publishing_ = true;
+  // Version barrier: drain every admitted request before the swap. Replica
+  // queues are empty once outstanding_ hits zero, so after the loop every
+  // replica serves the new version and nothing in flight straddles it.
+  cv_.wait(lock, [&] { return outstanding_ == 0; });
+  for (auto& replica : replicas_) replica->publish(snapshot);
+  version_ = snapshot->version();
+  ++publishes_;
+  publishing_ = false;
+  cv_.notify_all();
+}
+
+void ReplicaGroup::start() {
+  for (auto& replica : replicas_) replica->start();
+}
+
+void ReplicaGroup::stop() {
+  for (auto& replica : replicas_) replica->stop();
+}
+
+std::uint64_t ReplicaGroup::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
+}
+
+std::uint64_t ReplicaGroup::publishes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return publishes_;
+}
+
+GroupStats ReplicaGroup::stats() const {
+  GroupStats g;
+  g.per_replica.reserve(replicas_.size());
+  for (const auto& replica : replicas_) {
+    g.per_replica.push_back(replica->stats());
+    const ServerStats& s = g.per_replica.back();
+    g.completed += s.completed;
+    g.batches += s.batches;
+    g.batched_requests += s.batched_requests;
+  }
+  g.publishes = publishes();
+  return g;
+}
+
+void ReplicaGroup::begin_requests(std::size_t n) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return !publishing_; });
+  outstanding_ += n;
+}
+
+void ReplicaGroup::end_request() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --outstanding_;
+  if (outstanding_ == 0) cv_.notify_all();
+}
+
+std::shared_ptr<const ModelSnapshot> broadcast_snapshot(
+    Communicator& comm, const ModelSpec& spec,
+    std::shared_ptr<const ModelSnapshot> snapshot, int root) {
+  // Payload = flattened weights + a 2-float version trailer (the 64-bit
+  // version travels as two bit-cast 32-bit halves, as the sharded halo
+  // protocol does for vertex ids).
+  std::vector<real_t> payload;
+  if (comm.rank() == root) {
+    if (!snapshot) throw std::invalid_argument("broadcast_snapshot: root has no snapshot");
+    payload = snapshot->flatten();
+    const std::uint64_t v = snapshot->version();
+    const std::uint32_t lo = static_cast<std::uint32_t>(v);
+    const std::uint32_t hi = static_cast<std::uint32_t>(v >> 32);
+    real_t flo, fhi;
+    std::memcpy(&flo, &lo, sizeof(lo));
+    std::memcpy(&fhi, &hi, sizeof(hi));
+    payload.push_back(flo);
+    payload.push_back(fhi);
+  }
+  comm.broadcast_v(payload, root);
+  if (comm.rank() == root) return snapshot;
+
+  if (payload.size() < 2)
+    throw std::runtime_error("broadcast_snapshot: truncated payload");
+  std::uint32_t lo = 0, hi = 0;
+  std::memcpy(&lo, &payload[payload.size() - 2], sizeof(lo));
+  std::memcpy(&hi, &payload[payload.size() - 1], sizeof(hi));
+  const std::uint64_t version = (static_cast<std::uint64_t>(hi) << 32) | lo;
+  return ModelSnapshot::from_flat(
+      spec, std::span<const real_t>(payload.data(), payload.size() - 2), version);
+}
+
+}  // namespace distgnn::serve

@@ -1,0 +1,97 @@
+// Replicated serving tier: one logical shard served by N replica ranks.
+//
+// A ReplicaGroup owns N InferenceServers over the same dataset with the same
+// ServeConfig (critically: the same sample_seed), so every replica answers
+// every request bitwise-identically to a single server — routing is free to
+// place a request anywhere. The group owns snapshot publication as a group
+// operation with a *version barrier*: publish() waits for every admitted
+// request to complete, swaps all replicas to the new snapshot, and only then
+// re-opens admission. Because a client batch is admitted atomically (the
+// Router holds all of its admission slots before the first submit), no batch
+// can ever contain answers from two snapshot versions.
+//
+// For multi-process deployments, broadcast_snapshot() is the publication
+// primitive: the publisher rank flattens the weights and version into one
+// payload, broadcasts it over the World runtime, and every replica rank
+// reconstructs a bitwise-identical ModelSnapshot.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "graph/datasets.hpp"
+#include "serve/inference_server.hpp"
+
+namespace distgnn::serve {
+
+/// Aggregated view over the group's replicas.
+struct GroupStats {
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_requests = 0;
+  std::uint64_t publishes = 0;
+  std::vector<ServerStats> per_replica;
+};
+
+class ReplicaGroup {
+ public:
+  /// Every replica shares `dataset` (features are not copied) and gets an
+  /// identical ServeConfig — the source of the bitwise-equality guarantee.
+  ReplicaGroup(const Dataset& dataset, ServeConfig config, int num_replicas);
+  ~ReplicaGroup();
+
+  ReplicaGroup(const ReplicaGroup&) = delete;
+  ReplicaGroup& operator=(const ReplicaGroup&) = delete;
+
+  /// Version-barriered group publish: blocks new admissions, drains every
+  /// admitted request, hot-swaps all replicas, re-opens admission. After it
+  /// returns, every replica serves `snapshot` and no in-flight answer mixes
+  /// versions with anything admitted afterwards.
+  void publish(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  void start();
+  void stop();
+
+  int num_replicas() const { return static_cast<int>(replicas_.size()); }
+  InferenceServer& replica(int i) { return *replicas_[static_cast<std::size_t>(i)]; }
+  const InferenceServer& replica(int i) const { return *replicas_[static_cast<std::size_t>(i)]; }
+  const Dataset& dataset() const { return dataset_; }
+
+  /// Version currently served by every replica (0 before the first publish).
+  std::uint64_t version() const;
+  std::uint64_t publishes() const;
+  GroupStats stats() const;
+
+  /// Admission epoch gate (Router protocol). begin_requests(n) reserves n
+  /// admission slots atomically, blocking while a publish barrier is in
+  /// progress — which is what pins a whole client batch to one version.
+  /// Every reserved slot must be released by exactly one end_request(),
+  /// whether the request was admitted (on completion) or shed (immediately).
+  void begin_requests(std::size_t n);
+  void end_request();
+
+ private:
+  const Dataset& dataset_;
+  std::vector<std::unique_ptr<InferenceServer>> replicas_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t outstanding_ = 0;  // admission slots handed out, not yet released
+  bool publishing_ = false;
+  std::uint64_t version_ = 0;
+  std::uint64_t publishes_ = 0;
+};
+
+/// Group snapshot publication over a World: `root` flattens its snapshot
+/// (weights + version) and broadcasts; every other rank reconstructs and
+/// returns a bitwise-identical snapshot. The root passes its snapshot in,
+/// the other ranks pass nullptr.
+std::shared_ptr<const ModelSnapshot> broadcast_snapshot(
+    Communicator& comm, const ModelSpec& spec,
+    std::shared_ptr<const ModelSnapshot> snapshot, int root);
+
+}  // namespace distgnn::serve

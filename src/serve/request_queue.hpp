@@ -32,10 +32,21 @@ struct InferResult {
   std::uint64_t snapshot_version = 0;  // which model produced this answer
 };
 
+/// Two-lane request priority for the admission controller: under pressure
+/// the router sheds kLow work first, so paying (kHigh) traffic keeps its
+/// tail latency through an MMPP burst.
+enum class Priority : std::uint8_t { kHigh = 0, kLow = 1 };
+
 struct InferRequest {
   std::uint64_t id = 0;
   vid_t vertex = kInvalidVertex;
   ServeClock::time_point enqueue{};
+  /// Admission-control metadata. The router decides at submit time whether
+  /// the deadline is meetable; once admitted a request is always answered,
+  /// even if its deadline has since slipped — late answers keep the
+  /// bitwise-equality contract with single-server serving.
+  ServeClock::time_point deadline = ServeClock::time_point::max();
+  Priority priority = Priority::kHigh;
   std::function<void(InferResult&&)> done;  // invoked exactly once per request
 };
 

@@ -1,0 +1,307 @@
+#include "serve/router.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace distgnn::serve {
+
+RoutePolicy parse_route_policy(const std::string& name) {
+  if (name == "round-robin" || name == "rr") return RoutePolicy::kRoundRobin;
+  if (name == "least-outstanding" || name == "lo") return RoutePolicy::kLeastOutstanding;
+  if (name == "p2c" || name == "power-of-two") return RoutePolicy::kPowerOfTwo;
+  throw std::invalid_argument("unknown routing policy '" + name +
+                              "' (round-robin | least-outstanding | p2c)");
+}
+
+std::string route_policy_name(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::kRoundRobin: return "round-robin";
+    case RoutePolicy::kLeastOutstanding: return "least-outstanding";
+    case RoutePolicy::kPowerOfTwo: return "p2c";
+  }
+  return "?";
+}
+
+Router::Router(ReplicaGroup& group, RoutePolicy policy, AdmissionConfig admission)
+    : group_(group),
+      policy_(policy),
+      admission_(admission),
+      outstanding_(new std::atomic<std::uint64_t>[static_cast<std::size_t>(group.num_replicas())]),
+      admitted_per_replica_(
+          new std::atomic<std::uint64_t>[static_cast<std::size_t>(group.num_replicas())]) {
+  for (int r = 0; r < group_.num_replicas(); ++r) {
+    outstanding_[static_cast<std::size_t>(r)].store(0, std::memory_order_relaxed);
+    admitted_per_replica_[static_cast<std::size_t>(r)].store(0, std::memory_order_relaxed);
+  }
+}
+
+int Router::pick_replica() {
+  const int n = group_.num_replicas();
+  if (n == 1) return 0;
+  switch (policy_) {
+    case RoutePolicy::kRoundRobin:
+      return static_cast<int>(rr_next_.fetch_add(1, std::memory_order_relaxed) %
+                              static_cast<std::uint64_t>(n));
+    case RoutePolicy::kLeastOutstanding: {
+      int best = 0;
+      std::uint64_t best_out = outstanding_[0].load(std::memory_order_relaxed);
+      for (int r = 1; r < n; ++r) {
+        const std::uint64_t out = outstanding_[static_cast<std::size_t>(r)].load(
+            std::memory_order_relaxed);
+        if (out < best_out) {
+          best = r;
+          best_out = out;
+        }
+      }
+      return best;
+    }
+    case RoutePolicy::kPowerOfTwo: {
+      // Two independent draws from a lock-free splitmix stream, then the
+      // replica with the shallower queue wins (first draw on ties).
+      const std::uint64_t d = p2c_draws_.fetch_add(2, std::memory_order_relaxed);
+      const int a = static_cast<int>(splitmix64(admission_.seed ^ d) %
+                                     static_cast<std::uint64_t>(n));
+      const int b = static_cast<int>(splitmix64(admission_.seed ^ (d + 1)) %
+                                     static_cast<std::uint64_t>(n));
+      return group_.replica(b).queue_depth() < group_.replica(a).queue_depth() ? b : a;
+    }
+  }
+  return 0;
+}
+
+bool Router::submit(vid_t vertex, std::function<void(InferResult&&)> done) {
+  return submit(vertex, ServeClock::time_point::max(), Priority::kHigh, std::move(done));
+}
+
+bool Router::submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+                    std::function<void(InferResult&&)> done) {
+  // Validate before reserving an admission slot: a throw after
+  // begin_requests would leak the slot and wedge every later publish().
+  if (vertex < 0 || vertex >= group_.dataset().num_vertices())
+    throw std::out_of_range("Router: vertex id out of range");
+  group_.begin_requests(1);
+  return route_one(vertex, deadline, priority, std::move(done));
+}
+
+bool Router::route_one(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+                       std::function<void(InferResult&&)> done) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const int r = pick_replica();
+  InferenceServer& replica = group_.replica(r);
+
+  // Deadline admission: shed when the estimated completion time — queued
+  // work ahead of us spread over the worker pool, plus our own service —
+  // lands past the deadline. Estimates come from the replica's own observed
+  // service rate, so the controller self-calibrates to the model and host.
+  if (admission_.shed_deadlines && deadline != ServeClock::time_point::max()) {
+    const auto now = ServeClock::now();
+    if (deadline <= now) {
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      group_.end_request();
+      return false;
+    }
+    const double mean_service = replica.mean_service_seconds();
+    if (mean_service > 0) {
+      const double depth = static_cast<double>(
+          outstanding_[static_cast<std::size_t>(r)].load(std::memory_order_relaxed));
+      const double workers = static_cast<double>(replica.config().num_workers);
+      const double estimate =
+          mean_service * (depth / workers + 1.0) * admission_.estimate_margin;
+      if (now + std::chrono::duration_cast<ServeClock::duration>(
+                    std::chrono::duration<double>(estimate)) >
+          deadline) {
+        shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+        group_.end_request();
+        return false;
+      }
+    }
+  }
+
+  // Priority lane: once the target replica's queue is past the watermark,
+  // low-priority work sheds so the burst headroom goes to the high lane.
+  if (priority == Priority::kLow && admission_.low_priority_depth > 0 &&
+      replica.queue_depth() >= admission_.low_priority_depth) {
+    shed_priority_.fetch_add(1, std::memory_order_relaxed);
+    group_.end_request();
+    return false;
+  }
+
+  outstanding_[static_cast<std::size_t>(r)].fetch_add(1, std::memory_order_relaxed);
+  bool ok = false;
+  try {
+    ok = replica.submit(
+        vertex, deadline, priority,
+        [this, r, user_done = std::move(done)](InferResult&& result) mutable {
+          outstanding_[static_cast<std::size_t>(r)].fetch_sub(1, std::memory_order_relaxed);
+          completed_.fetch_add(1, std::memory_order_relaxed);
+          if (user_done) user_done(std::move(result));
+          group_.end_request();
+        });
+  } catch (...) {
+    // Defensive: release the admission slot and the outstanding count so an
+    // exotic throw cannot leave publish() waiting on a slot nobody holds.
+    outstanding_[static_cast<std::size_t>(r)].fetch_sub(1, std::memory_order_relaxed);
+    group_.end_request();
+    throw;
+  }
+  if (!ok) {
+    outstanding_[static_cast<std::size_t>(r)].fetch_sub(1, std::memory_order_relaxed);
+    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    group_.end_request();
+    return false;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  admitted_per_replica_[static_cast<std::size_t>(r)].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::vector<std::optional<InferResult>> Router::infer_batch(std::span<const vid_t> vertices) {
+  return infer_batch(vertices, ServeClock::time_point::max(), Priority::kHigh);
+}
+
+std::vector<std::optional<InferResult>> Router::infer_batch(std::span<const vid_t> vertices,
+                                                            ServeClock::time_point deadline,
+                                                            Priority priority) {
+  const std::size_t n = vertices.size();
+  std::vector<std::optional<InferResult>> results(n);
+  if (n == 0) return results;
+  for (const vid_t v : vertices)
+    if (v < 0 || v >= group_.dataset().num_vertices())
+      throw std::out_of_range("Router: vertex id out of range");
+
+  // Reserve the whole batch's admission slots atomically: a group publish
+  // now has to wait until every request below completes, so all admitted
+  // answers come from one snapshot version.
+  group_.begin_requests(n);
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t pending = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++pending;
+    }
+    const bool ok = route_one(vertices[i], deadline, priority, [&, i](InferResult&& result) {
+      std::lock_guard<std::mutex> lock(mutex);
+      results[i] = std::move(result);
+      if (--pending == 0) cv.notify_all();
+    });
+    if (!ok) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (--pending == 0) cv.notify_all();
+    }
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return pending == 0; });
+  return results;
+}
+
+RouterStats RouterStats::since(const RouterStats& base) const {
+  RouterStats d;
+  d.submitted = submitted - base.submitted;
+  d.admitted = admitted - base.admitted;
+  d.completed = completed - base.completed;
+  d.shed_deadline = shed_deadline - base.shed_deadline;
+  d.shed_priority = shed_priority - base.shed_priority;
+  d.shed_queue_full = shed_queue_full - base.shed_queue_full;
+  d.admitted_per_replica.resize(admitted_per_replica.size());
+  for (std::size_t r = 0; r < admitted_per_replica.size(); ++r)
+    d.admitted_per_replica[r] =
+        admitted_per_replica[r] - (r < base.admitted_per_replica.size()
+                                       ? base.admitted_per_replica[r]
+                                       : 0);
+  return d;
+}
+
+RouterStats Router::stats() const {
+  RouterStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  s.shed_priority = shed_priority_.load(std::memory_order_relaxed);
+  s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  s.admitted_per_replica.resize(static_cast<std::size_t>(group_.num_replicas()));
+  for (int r = 0; r < group_.num_replicas(); ++r)
+    s.admitted_per_replica[static_cast<std::size_t>(r)] =
+        admitted_per_replica_[static_cast<std::size_t>(r)].load(std::memory_order_relaxed);
+  return s;
+}
+
+LoadReport run_router_open_loop(Router& router, const RouterLoadConfig& config) {
+  const std::vector<double> offsets = generate_arrivals(config.arrivals, config.num_requests);
+  ReplicaGroup& group = router.group();
+  const auto num_vertices = static_cast<std::uint64_t>(group.dataset().num_vertices());
+
+  Rng rng(config.seed);
+  std::vector<vid_t> targets;
+  std::vector<Priority> priorities;
+  targets.reserve(config.num_requests);
+  priorities.reserve(config.num_requests);
+  for (std::size_t i = 0; i < config.num_requests; ++i) {
+    targets.push_back(static_cast<vid_t>(rng.next_below(num_vertices)));
+    priorities.push_back(rng.next_double() < config.low_priority_fraction ? Priority::kLow
+                                                                          : Priority::kHigh);
+  }
+
+  const GroupStats before = group.stats();
+  LatencyRecorder latencies;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t accounted = 0;
+  std::uint64_t shed = 0;
+  const auto account = [&](bool was_shed) {
+    std::lock_guard<std::mutex> lock(done_mutex);
+    if (was_shed) ++shed;
+    ++accounted;
+    if (accounted == config.num_requests) done_cv.notify_all();
+  };
+
+  const auto deadline_delta =
+      std::chrono::duration_cast<ServeClock::duration>(
+          std::chrono::duration<double>(config.deadline_seconds));
+  const auto begin = ServeClock::now();
+  for (std::size_t i = 0; i < config.num_requests; ++i) {
+    std::this_thread::sleep_until(begin + std::chrono::duration<double>(offsets[i]));
+    const auto deadline = config.deadline_seconds > 0 ? ServeClock::now() + deadline_delta
+                                                      : ServeClock::time_point::max();
+    const bool admitted =
+        router.submit(targets[i], deadline, priorities[i], [&](InferResult&& result) {
+          latencies.record(result.latency_seconds);
+          account(false);
+        });
+    if (!admitted) account(true);
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return accounted == config.num_requests; });
+  }
+  const double duration = std::chrono::duration<double>(ServeClock::now() - begin).count();
+
+  const GroupStats after = group.stats();
+  LoadReport report;
+  report.label = std::string(config.arrivals.process == ArrivalProcess::kPoisson ? "poisson"
+                                                                                 : "mmpp") +
+                 "/" + route_policy_name(router.policy()) + "x" +
+                 std::to_string(group.num_replicas());
+  report.duration_seconds = duration;
+  report.offered = config.num_requests;
+  report.completed = config.num_requests - shed;
+  report.rejected = shed;
+  report.qps = duration > 0 ? static_cast<double>(report.completed) / duration : 0.0;
+  fill_latency_fields(report, latencies);
+  const std::uint64_t batches_delta = after.batches - before.batches;
+  report.mean_batch = batches_delta == 0
+                          ? 0.0
+                          : static_cast<double>(after.batched_requests - before.batched_requests) /
+                                static_cast<double>(batches_delta);
+  return report;
+}
+
+}  // namespace distgnn::serve

@@ -1,0 +1,136 @@
+// Request routing and admission control in front of a ReplicaGroup.
+//
+// The Router decides two things per request: *where* it runs (round-robin,
+// least-outstanding, or power-of-two-choices over per-replica queue depth)
+// and *whether* it runs at all. Admission control sheds a request when its
+// deadline cannot be met — estimated as the target replica's outstanding
+// count divided by its worker pool, times the observed per-request service
+// rate — and drops low-priority work first once a replica's queue depth
+// crosses the low-priority watermark. Shedding happens before the queue, so
+// an admitted request is always answered (bitwise-identically to a single
+// server), while a shed one costs nothing downstream; under bursty MMPP
+// arrivals that is what keeps the admitted-traffic p99 flat.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/replica_group.hpp"
+#include "serve/traffic_gen.hpp"
+
+namespace distgnn::serve {
+
+enum class RoutePolicy { kRoundRobin, kLeastOutstanding, kPowerOfTwo };
+
+/// "round-robin" | "least-outstanding" | "p2c" (anything else throws — the
+/// bench/demo flag parsers rely on loud failure).
+RoutePolicy parse_route_policy(const std::string& name);
+std::string route_policy_name(RoutePolicy policy);
+
+struct AdmissionConfig {
+  /// Master switch for deadline shedding (the bench's on/off comparison).
+  bool shed_deadlines = true;
+  /// Per-replica queue depth beyond which low-priority requests shed.
+  /// 0 disables the priority lane.
+  std::size_t low_priority_depth = 64;
+  /// Pessimism multiplier on the estimated wait (> 1 sheds earlier).
+  double estimate_margin = 1.0;
+  /// Seed of the power-of-two-choices sampling stream.
+  std::uint64_t seed = 99;
+};
+
+struct RouterStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed_deadline = 0;    // deadline unmeetable at admission time
+  std::uint64_t shed_priority = 0;    // low-priority lane over the watermark
+  std::uint64_t shed_queue_full = 0;  // bounced off the replica's bounded queue
+  std::vector<std::uint64_t> admitted_per_replica;
+
+  std::uint64_t shed() const { return shed_deadline + shed_priority + shed_queue_full; }
+  double shed_rate() const {
+    return submitted == 0 ? 0.0 : static_cast<double>(shed()) / static_cast<double>(submitted);
+  }
+  /// Counters accrued since `base` (an earlier stats() snapshot) — keeps
+  /// warmup traffic out of measured-run shed rates.
+  RouterStats since(const RouterStats& base) const;
+};
+
+class Router {
+ public:
+  Router(ReplicaGroup& group, RoutePolicy policy, AdmissionConfig admission = {});
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Routes one request. Returns false when the request was shed (deadline
+  /// unmeetable, priority lane over watermark, or queue full) — `done` is
+  /// then never invoked.
+  bool submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+              std::function<void(InferResult&&)> done);
+  bool submit(vid_t vertex, std::function<void(InferResult&&)> done);
+
+  /// Blocking batch under ONE admission epoch: all slots are reserved before
+  /// the first submit, so the group's publish barrier cannot land inside the
+  /// batch — every admitted answer carries the same snapshot_version.
+  /// Entries of shed requests come back as nullopt.
+  std::vector<std::optional<InferResult>> infer_batch(std::span<const vid_t> vertices,
+                                                      ServeClock::time_point deadline,
+                                                      Priority priority);
+  std::vector<std::optional<InferResult>> infer_batch(std::span<const vid_t> vertices);
+
+  RouterStats stats() const;
+  RoutePolicy policy() const { return policy_; }
+  ReplicaGroup& group() { return group_; }
+
+ private:
+  /// Assumes one admission slot is already held; releases it on shed, or
+  /// hands it to the completion callback on admit.
+  bool route_one(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+                 std::function<void(InferResult&&)> done);
+  int pick_replica();
+
+  ReplicaGroup& group_;
+  RoutePolicy policy_;
+  AdmissionConfig admission_;
+
+  std::atomic<std::uint64_t> rr_next_{0};
+  std::atomic<std::uint64_t> p2c_draws_{0};
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> shed_deadline_{0};
+  std::atomic<std::uint64_t> shed_priority_{0};
+  std::atomic<std::uint64_t> shed_queue_full_{0};
+  // Per-replica: requests admitted but not yet completed (queued + in
+  // service), and lifetime admitted counts. Raw arrays because atomics are
+  // not movable.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> outstanding_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> admitted_per_replica_;
+};
+
+/// Open-loop arrival-driven load through a Router (the replicated analogue
+/// of TrafficGenerator::run_open_loop). Latencies cover admitted requests
+/// only; shed requests count into LoadReport::rejected.
+struct RouterLoadConfig {
+  ArrivalConfig arrivals;
+  std::size_t num_requests = 400;
+  /// Per-request deadline, assigned at submit time (0 = no deadline).
+  double deadline_seconds = 0;
+  /// Fraction of requests marked Priority::kLow (deterministic per seed).
+  double low_priority_fraction = 0;
+  /// Vertex-choice and priority-marking stream.
+  std::uint64_t seed = 5;
+};
+
+LoadReport run_router_open_loop(Router& router, const RouterLoadConfig& config);
+
+}  // namespace distgnn::serve

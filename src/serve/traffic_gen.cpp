@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
+#include <map>
 #include <stdexcept>
 #include <thread>
 
@@ -41,20 +42,19 @@ double LatencyRecorder::mean_seconds() const {
 
 std::vector<LatencyRecorder::Bucket> LatencyRecorder::histogram() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<Bucket> buckets;
+  // Direct log2 bucket indexing: bucket k covers [1µs·2^(k-1), 1µs·2^k), so
+  // the whole pass is O(samples) regardless of how wide the tail spreads.
+  std::map<int, std::size_t> counts;
   for (const double s : samples_) {
-    double upper = 1e-6;  // first bucket: < 1µs
-    while (s >= upper) upper *= 2;
-    auto it = std::find_if(buckets.begin(), buckets.end(),
-                           [&](const Bucket& b) { return b.upper_seconds == upper; });
-    if (it == buckets.end()) {
-      buckets.push_back({upper, 1});
-    } else {
-      ++it->count;
-    }
+    int k = 0;
+    if (s >= 1e-6) k = static_cast<int>(std::floor(std::log2(s / 1e-6))) + 1;
+    while (s >= 1e-6 * std::ldexp(1.0, k)) ++k;  // guard log2 rounding at bucket edges
+    ++counts[k];
   }
-  std::sort(buckets.begin(), buckets.end(),
-            [](const Bucket& a, const Bucket& b) { return a.upper_seconds < b.upper_seconds; });
+  std::vector<Bucket> buckets;
+  buckets.reserve(counts.size());
+  for (const auto& [k, count] : counts)
+    buckets.push_back({1e-6 * std::ldexp(1.0, k), count});
   return buckets;
 }
 
@@ -126,15 +126,25 @@ double index_of_dispersion(std::span<const double> arrivals, double window_secon
   return var / mean;
 }
 
+void fill_latency_fields(LoadReport& report, const LatencyRecorder& latencies) {
+  report.mean_ms = latencies.mean_seconds() * 1e3;
+  report.p50_ms = latencies.quantile(0.50) * 1e3;
+  report.p95_ms = latencies.quantile(0.95) * 1e3;
+  report.p99_ms = latencies.quantile(0.99) * 1e3;
+  report.p999_ms = latencies.quantile(0.999) * 1e3;
+  report.histogram = latencies.histogram();
+}
+
 std::string render_load_reports(std::span<const LoadReport> reports, const std::string& title) {
   TextTable table({"load", "offered", "done", "rejected", "QPS", "mean ms", "p50 ms", "p95 ms",
-                   "p99 ms", "batch"});
+                   "p99 ms", "p99.9 ms", "batch"});
   for (const LoadReport& r : reports)
     table.add_row({r.label, TextTable::fmt_int(static_cast<long long>(r.offered)),
                    TextTable::fmt_int(static_cast<long long>(r.completed)),
                    TextTable::fmt_int(static_cast<long long>(r.rejected)), TextTable::fmt(r.qps, 0),
                    TextTable::fmt(r.mean_ms), TextTable::fmt(r.p50_ms), TextTable::fmt(r.p95_ms),
-                   TextTable::fmt(r.p99_ms), TextTable::fmt(r.mean_batch, 2)});
+                   TextTable::fmt(r.p99_ms), TextTable::fmt(r.p999_ms),
+                   TextTable::fmt(r.mean_batch, 2)});
   return table.render(title);
 }
 
@@ -158,10 +168,7 @@ LoadReport TrafficGenerator::finish(const std::string& label, double duration,
   report.completed = completed;
   report.rejected = rejected;
   report.qps = duration > 0 ? static_cast<double>(completed) / duration : 0.0;
-  report.mean_ms = latencies.mean_seconds() * 1e3;
-  report.p50_ms = latencies.quantile(0.50) * 1e3;
-  report.p95_ms = latencies.quantile(0.95) * 1e3;
-  report.p99_ms = latencies.quantile(0.99) * 1e3;
+  fill_latency_fields(report, latencies);
   report.mean_batch = batches_delta == 0 ? 0.0
                                          : static_cast<double>(batched_requests_delta) /
                                                static_cast<double>(batches_delta);

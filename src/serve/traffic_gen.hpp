@@ -73,8 +73,15 @@ struct LoadReport {
   std::uint64_t rejected = 0;
   double qps = 0;  // completed / duration
   double mean_ms = 0, p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  double p999_ms = 0;  // shed-rate evaluation needs tail resolution past p99
   double mean_batch = 0;  // server-side micro-batch occupancy during the run
+  /// Compact log2-bucketed latency histogram (the full tail shape, for the
+  /// bench JSON artifact; quantiles alone hide multi-modal tails).
+  std::vector<LatencyRecorder::Bucket> histogram;
 };
+
+/// Copies mean/p50/p95/p99/p99.9 and the histogram out of a recorder.
+void fill_latency_fields(LoadReport& report, const LatencyRecorder& latencies);
 
 /// One row per report, rendered through util/table.
 std::string render_load_reports(std::span<const LoadReport> reports, const std::string& title);

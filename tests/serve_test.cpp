@@ -121,23 +121,92 @@ TEST(ModelSnapshot, BatchedForwardIsBitwiseEqualToSingle) {
 
 // ------------------------------------------------------------ request queue
 
+InferRequest make_request(std::uint64_t id) {
+  InferRequest request;
+  request.id = id;
+  request.vertex = static_cast<vid_t>(id);
+  request.enqueue = ServeClock::now();
+  return request;
+}
+
 TEST(BoundedRequestQueue, BatchesAndBounds) {
   BoundedRequestQueue queue(4);
-  for (std::uint64_t i = 0; i < 4; ++i)
-    EXPECT_TRUE(queue.try_push({i, static_cast<vid_t>(i), ServeClock::now(), nullptr}));
-  EXPECT_FALSE(queue.try_push({9, 9, ServeClock::now(), nullptr}));  // full -> reject
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(queue.try_push(make_request(i)));
+  EXPECT_FALSE(queue.try_push(make_request(9)));  // full -> reject
 
   auto batch = queue.pop_batch(3, std::chrono::microseconds(0));
   ASSERT_EQ(batch.size(), 3u);
   EXPECT_EQ(batch[0].id, 0u);
   EXPECT_EQ(batch[2].id, 2u);
+  EXPECT_EQ(batch[0].priority, Priority::kHigh);  // default lane
+  EXPECT_EQ(batch[0].deadline, ServeClock::time_point::max());
 
   queue.close();
   batch = queue.pop_batch(3, std::chrono::microseconds(0));
   ASSERT_EQ(batch.size(), 1u);  // drains the remainder after close
   EXPECT_EQ(batch[0].id, 3u);
   EXPECT_TRUE(queue.pop_batch(3, std::chrono::microseconds(0)).empty());
-  EXPECT_FALSE(queue.try_push({10, 10, ServeClock::now(), nullptr}));
+  EXPECT_FALSE(queue.try_push(make_request(10)));
+}
+
+TEST(BoundedRequestQueue, CloseWakesProducerBlockedInPush) {
+  BoundedRequestQueue queue(1);
+  ASSERT_TRUE(queue.push(make_request(0)));
+
+  std::atomic<int> blocked_result{-1};
+  std::thread producer([&] {
+    // Queue is full, so this push must block until close() releases it.
+    blocked_result.store(queue.push(make_request(1)) ? 1 : 0);
+  });
+  // Give the producer time to actually block on not_full_.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(blocked_result.load(), -1);
+
+  queue.close();
+  producer.join();
+  EXPECT_EQ(blocked_result.load(), 0);  // push reports the closed queue
+
+  // The request admitted before close still drains.
+  auto batch = queue.pop_batch(4, std::chrono::microseconds(0));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].id, 0u);
+  EXPECT_TRUE(queue.pop_batch(4, std::chrono::microseconds(0)).empty());
+}
+
+TEST(BoundedRequestQueue, ZeroCapacityAdmitsNothing) {
+  BoundedRequestQueue queue(0);
+  EXPECT_FALSE(queue.try_push(make_request(0)));
+
+  std::thread producer([&] { EXPECT_FALSE(queue.push(make_request(1))); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();  // the only way a zero-capacity push ever returns
+  producer.join();
+  EXPECT_TRUE(queue.pop_batch(1, std::chrono::microseconds(0)).empty());
+}
+
+TEST(BoundedRequestQueue, OneCapacityAlternatesPushPop) {
+  BoundedRequestQueue queue(1);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(queue.try_push(make_request(i)));
+    EXPECT_FALSE(queue.try_push(make_request(99)));  // full at depth 1
+    auto batch = queue.pop_batch(8, std::chrono::microseconds(0));
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].id, i);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedRequestQueue, PopBatchDrainsRemainderAfterClose) {
+  BoundedRequestQueue queue(8);
+  for (std::uint64_t i = 0; i < 5; ++i) ASSERT_TRUE(queue.try_push(make_request(i)));
+  queue.close();
+  // Batches keep their size cap while draining a closed queue.
+  EXPECT_EQ(queue.pop_batch(2, std::chrono::microseconds(0)).size(), 2u);
+  EXPECT_EQ(queue.pop_batch(2, std::chrono::microseconds(0)).size(), 2u);
+  auto last = queue.pop_batch(2, std::chrono::microseconds(0));
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last[0].id, 4u);
+  EXPECT_TRUE(queue.pop_batch(2, std::chrono::microseconds(0)).empty());
 }
 
 // ------------------------------------------------------------ feature cache
