@@ -8,6 +8,7 @@
 //   --rate=N         offered MMPP long-run mean rate, requests/s (default 3000)
 //   --requests=N     requests per measured run (default 300)
 //   --deadline-ms=N  per-request deadline for admission control (default 20)
+//   --seed=N         arrival/vertex/priority stream seed (default 5)
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -27,6 +28,9 @@ using namespace distgnn::serve;
 double g_rate = 3000.0;
 std::size_t g_requests = 300;
 double g_deadline_ms = 20.0;
+// --seed drives the arrival process and the router's vertex/priority
+// streams, so the JSON artifact is reproducible run-to-run.
+std::uint64_t g_seed = 5;
 
 struct ReplicationFixture {
   Dataset dataset;
@@ -72,6 +76,7 @@ ArrivalConfig mmpp_arrivals() {
   arrivals.rate = g_rate;
   arrivals.mmpp_rate0 = g_rate / 4;
   arrivals.mmpp_rate1 = g_rate * 4;
+  arrivals.seed = g_seed;
   return arrivals;
 }
 
@@ -116,6 +121,7 @@ void run_replicated(benchmark::State& state, int replicas, RoutePolicy policy, b
     load.num_requests = g_requests;
     load.deadline_seconds = g_deadline_ms * 1e-3;
     load.low_priority_fraction = 0.3;
+    load.seed = g_seed;
     last = run_router_open_loop(router, load);
     last_stats = router.stats().since(warmed);
     group.stop();
@@ -161,11 +167,13 @@ BENCHMARK(BM_ReplicatedMmpp_NoShed)
 
 int main(int argc, char** argv) {
   return distgnn::bench::run_strict_benchmark_main(
-      argc, argv, "bench_replication_serving", {"rate", "requests", "deadline-ms"},
+      argc, argv, "bench_replication_serving", {"rate", "requests", "deadline-ms", "seed"},
       [](const distgnn::Options& opts) {
         distgnn::g_rate = opts.get_double("rate", distgnn::g_rate);
         distgnn::g_requests = static_cast<std::size_t>(
             opts.get_int("requests", static_cast<long long>(distgnn::g_requests)));
         distgnn::g_deadline_ms = opts.get_double("deadline-ms", distgnn::g_deadline_ms);
+        distgnn::g_seed = static_cast<std::uint64_t>(
+            opts.get_int("seed", static_cast<long long>(distgnn::g_seed)));
       });
 }

@@ -19,6 +19,10 @@ namespace {
 
 using namespace distgnn::serve;
 
+// --seed drives the traffic vertex stream and the arrival process, so the
+// JSON artifact is reproducible run-to-run (and comparable across hosts).
+std::uint64_t g_seed = 5;
+
 struct ServingFixture {
   Dataset dataset;
   std::shared_ptr<const ModelSnapshot> snapshot;
@@ -110,7 +114,7 @@ void BM_ClosedLoop(benchmark::State& state) {
     InferenceServer server(f.dataset, f.config(/*workers=*/2, /*max_batch=*/16));
     server.publish(f.snapshot);
     server.start();
-    TrafficGenerator traffic(server, /*seed=*/5);
+    TrafficGenerator traffic(server, g_seed);
     last = traffic.run_closed_loop(clients, /*requests_each=*/200 / clients);
     server.stop();
   }
@@ -124,6 +128,7 @@ void run_open_loop(benchmark::State& state, ArrivalProcess process) {
   ArrivalConfig arrivals;
   arrivals.process = process;
   arrivals.rate = static_cast<double>(state.range(0));
+  arrivals.seed = g_seed;
   // Scale the MMPP states to the same long-run mean as the Poisson rate.
   arrivals.mmpp_rate0 = arrivals.rate / 4;
   arrivals.mmpp_rate1 = arrivals.rate * 4;
@@ -132,7 +137,7 @@ void run_open_loop(benchmark::State& state, ArrivalProcess process) {
     InferenceServer server(f.dataset, f.config(/*workers=*/2, /*max_batch=*/16));
     server.publish(f.snapshot);
     server.start();
-    TrafficGenerator traffic(server, /*seed=*/5);
+    TrafficGenerator traffic(server, g_seed);
     last = traffic.run_open_loop(arrivals, /*num_requests=*/400);
     server.stop();
   }
@@ -152,5 +157,9 @@ BENCHMARK(BM_OpenLoop_Mmpp)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond)
 }  // namespace distgnn
 
 int main(int argc, char** argv) {
-  return distgnn::bench::run_strict_benchmark_main(argc, argv, "bench_serving", {});
+  return distgnn::bench::run_strict_benchmark_main(
+      argc, argv, "bench_serving", {"seed"}, [](const distgnn::Options& opts) {
+        distgnn::g_seed = static_cast<std::uint64_t>(
+            opts.get_int("seed", static_cast<long long>(distgnn::g_seed)));
+      });
 }

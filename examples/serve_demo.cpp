@@ -6,9 +6,15 @@
 //
 //   ./serve_demo [--vertices=2048] [--epochs=20] [--workers=2] [--batch=8]
 //                [--delay-us=200] [--arrival=mmpp|poisson] [--rate=2000]
-//                [--requests=400] [--clients=4] [--seed=1]
+//                [--requests=400] [--clients=4] [--seed=1] [--zipf-s=0]
 //                [--replicas=2] [--policy=p2c|round-robin|least-outstanding]
 //                [--deadline-ms=20] [--low-frac=0.3] [--no-shed]
+//                [--embed-cache-mb=32]
+//
+// --zipf-s skews query popularity (0 = uniform); with a skewed workload the
+// final stage serves the same checkpoint through the embedding-cached
+// forward (EmbedForward + EmbedCache) cache-on vs cache-off and prints an
+// "embed cache summary:" line with the hit rate and both p99s.
 //
 // After the single-server stages, the same snapshot goes to a replicated
 // tier: a ReplicaGroup of --replicas servers fronted by a Router with the
@@ -85,7 +91,8 @@ int run_demo(const Options& opts) {
   server.publish(snapshot_v1);
   server.start();
 
-  TrafficGenerator traffic(server, serve_cfg.sample_seed);
+  const double zipf_s = opts.get_double("zipf-s", 0.0);
+  TrafficGenerator traffic(server, serve_cfg.sample_seed, zipf_s);
   const int clients = std::max(1, static_cast<int>(opts.get_int("clients", 4)));
   const auto requests =
       static_cast<std::size_t>(std::max<long long>(1, opts.get_int("requests", 400)));
@@ -170,6 +177,33 @@ int run_demo(const Options& opts) {
               static_cast<unsigned long long>(rstats.shed_queue_full));
   std::printf("replicated summary: QPS=%.0f p99_ms=%.3f p99_9_ms=%.3f shed_rate=%.3f\n",
               replicated.qps, replicated.p99_ms, replicated.p999_ms, rstats.shed_rate());
+
+  // 6. Embedding-cached serving: the same checkpoint through EmbedForward,
+  //    cache-on vs cache-off, under (optionally Zipf-skewed) repeat queries.
+  //    Same canonical sampling both ways, so answers match bitwise; only the
+  //    redundant subtree work disappears on hits.
+  const double zipf_bench_s = zipf_s > 0 ? zipf_s : 1.0;  // repeats need skew
+  const int per_client = std::max(1, static_cast<int>(requests) / clients);
+  const auto cache_mb = static_cast<std::uint64_t>(opts.get_int("embed-cache-mb", 32));
+  std::vector<LoadReport> embed_reports;
+  double embed_hit_rate = 0;
+  for (const bool cache_on : {false, true}) {
+    EmbedWorkloadReport run =
+        run_embed_cache_workload(dataset, server.snapshot(), serve_cfg,
+                                 cache_on ? cache_mb << 20 : 0, zipf_bench_s,
+                                 serve_cfg.sample_seed, clients, per_client);
+    run.load.label = cache_on ? "zipf/cache" : "zipf/no-cache";
+    embed_reports.push_back(std::move(run.load));
+    if (cache_on) embed_hit_rate = run.hit_rate;
+  }
+  std::printf("%s\n", render_load_reports(embed_reports,
+                                          "embedding cache (Zipf s=" +
+                                              std::to_string(zipf_bench_s) + ")")
+                          .c_str());
+  std::printf("embed cache summary: hit_rate=%.3f QPS_on=%.0f QPS_off=%.0f "
+              "p99_on_ms=%.3f p99_off_ms=%.3f\n",
+              embed_hit_rate, embed_reports[1].qps, embed_reports[0].qps,
+              embed_reports[1].p99_ms, embed_reports[0].p99_ms);
   return 0;
 }
 
@@ -180,7 +214,7 @@ int main(int argc, char** argv) {
   try {
     opts.require_known({"vertices", "epochs", "workers", "batch", "delay-us", "arrival", "rate",
                         "requests", "clients", "seed", "checkpoint", "replicas", "policy",
-                        "deadline-ms", "low-frac", "no-shed"});
+                        "deadline-ms", "low-frac", "no-shed", "zipf-s", "embed-cache-mb"});
     return run_demo(opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "serve_demo: %s\n", e.what());

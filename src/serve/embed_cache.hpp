@@ -1,0 +1,164 @@
+// Serving-tier embedding cache: layer outputs keyed by (vertex, layer,
+// snapshot version), plus the cached forward evaluator that consults it.
+//
+// The paper's core lever is avoiding redundant aggregation work (delayed
+// remote aggregates); the serving analogue is avoiding redundant *forward*
+// work across requests. Under skewed (Zipfian) query popularity the same hot
+// vertices are asked about over and over, and every such request re-samples
+// and re-aggregates a full k-hop subtree. EmbedCache memoizes hop-k
+// embeddings so a hit at (v, layer=k) short-circuits v's entire k-hop
+// subtree — for a hit at the output layer, the whole request collapses to
+// one cache copy.
+//
+// Soundness requires that h_l(v) be a pure function of (snapshot, v, l),
+// which the classic serving forward does not provide: sample_minibatch draws
+// the whole recursive plan from one request-seeded stream, so the 1-hop
+// sample of an *interior* vertex depends on which request pulled it in.
+// EmbedForward therefore samples canonically — vertex u's 1-hop block for
+// layer l is drawn from embed_rng(sample_seed, u, l), independent of request
+// context — making every cached row bitwise-reproducible: cache-on,
+// cache-off, hit, miss, and any batch composition all yield identical
+// logits for the same snapshot.
+//
+// Staleness: keys carry the snapshot version, so an entry computed under
+// version N can never satisfy a lookup under version N+1 — even if a racing
+// in-flight batch inserts old-version rows after a hot-swap. The
+// SnapshotHolder publish hook additionally invalidate()s the cache so stale
+// entries release capacity immediately instead of aging out of the LRU.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/datasets.hpp"
+#include "serve/feature_cache.hpp"
+#include "serve/model_snapshot.hpp"
+#include "serve/sharded_lru.hpp"
+#include "util/rng.hpp"
+
+namespace distgnn::serve {
+
+/// Canonical sampling stream for vertex `vertex`'s one-hop block feeding
+/// layer `layer` (0-based): depends only on (sample_seed, vertex, layer),
+/// never on request context — the purity EmbedCache keys rely on.
+Rng embed_rng(std::uint64_t sample_seed, vid_t vertex, int layer);
+
+/// Sharded LRU of layer outputs. Layer l (1-based: h_1 .. h_L) rows are
+/// out_dim(l-1) floats wide, so each layer gets its own ShardedLru instance;
+/// capacity_bytes is split evenly across layers.
+class EmbedCache {
+ public:
+  struct Key {
+    std::uint64_t version = 0;
+    std::uint64_t vertex = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::uint64_t operator()(const Key& k) const {
+      return splitmix64(k.version ^ splitmix64(k.vertex));
+    }
+  };
+
+  /// `max_entries_per_layer` bounds slot metadata for narrow layers (a
+  /// byte budget alone would buy e.g. half a million 8-float logit slots):
+  /// invalidate-on-publish keeps one version resident, so the true key
+  /// population is the vertex count — pass it when known; 0 = uncapped.
+  EmbedCache(const ModelSpec& spec, std::uint64_t capacity_bytes, int num_shards = 8,
+             std::uint64_t max_entries_per_layer = 0);
+
+  /// Copies h_layer(vertex) under `version` into `out` (dim(layer) floats)
+  /// on hit. A row cached under any other version never matches.
+  bool lookup(int layer, vid_t vertex, std::uint64_t version, real_t* out);
+  void insert(int layer, vid_t vertex, std::uint64_t version, const real_t* row);
+
+  /// Drops every entry (publish-hook invalidation) without resetting stats.
+  void invalidate();
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  /// Row width of layer l in floats (l in [1, num_layers]).
+  std::size_t dim(int layer) const;
+  std::uint64_t capacity_entries(int layer) const;
+
+  CacheStats stats(int layer) const;
+  CacheStats combined_stats() const;
+
+ private:
+  using LayerLru = ShardedLru<Key, std::vector<real_t>, KeyHash>;
+
+  LayerLru& layer_lru(int layer);
+  const LayerLru& layer_lru(int layer) const;
+
+  std::vector<std::size_t> dims_;               // dims_[l-1] = width of h_l
+  std::vector<std::unique_ptr<LayerLru>> layers_;  // layers_[l-1] caches h_l
+};
+
+/// Per-call counters for one EmbedForward::infer (monotone across calls).
+struct EmbedForwardStats {
+  std::uint64_t requests = 0;
+  std::uint64_t layer_rows_computed = 0;  // (vertex, layer) pairs evaluated
+  std::uint64_t sampled_blocks = 0;       // one-hop blocks actually sampled
+};
+
+/// The embedding-cached serving forward: memoized, level-by-level evaluation
+/// of h_L(seed) with canonical per-(vertex, layer) sampling.
+///
+/// Downward pass: resolve each needed (vertex, layer) — feature rows come
+/// through the feature cache, cached embeddings are copied out (pruning that
+/// vertex's subtree), and only true misses expand their one-hop block.
+/// Upward pass: each level's pending vertices are stacked into one
+/// forward_layer call (the GEMM amortization of micro-batching, kept), and
+/// freshly computed rows are inserted into the cache.
+///
+/// One instance per worker thread (scratch is not shareable); the caches are
+/// thread-safe and shared.
+class EmbedForward {
+ public:
+  /// `cache` and `feature_cache` may be null (uncached evaluation — the
+  /// bitwise-equality baseline). The dataset must outlive the evaluator.
+  EmbedForward(const Dataset& dataset, std::vector<int> fanouts, std::uint64_t sample_seed,
+               EmbedCache* cache, ShardedFeatureCache* feature_cache);
+
+  /// Computes logits (one row per seed, duplicates allowed) under
+  /// `snapshot`. Bitwise-equal to any other evaluation of the same seeds
+  /// under the same (snapshot, sample_seed, fanouts), cached or not.
+  void infer(const ModelSnapshot& snapshot, std::span<const vid_t> seeds, DenseMatrix& logits);
+
+  const EmbedForwardStats& stats() const { return stats_; }
+
+ private:
+  struct Level {
+    std::unordered_map<vid_t, std::uint32_t> index;  // vertex -> row in values
+    std::vector<real_t> values;                      // index.size() * dim rows
+    std::vector<vid_t> pending;                      // rows still to compute
+    std::vector<std::uint32_t> pending_row;
+    std::vector<MiniBatch> blocks;                   // one-hop plan per pending
+
+    void clear() {
+      index.clear();
+      values.clear();
+      pending.clear();
+      pending_row.clear();
+      blocks.clear();
+    }
+  };
+
+  /// Row of h_l(v) in levels_[l], discovering (and cache-probing) it on
+  /// first touch.
+  std::uint32_t resolve(int level, vid_t v, std::uint64_t version, std::size_t dim);
+
+  const Dataset& dataset_;
+  std::vector<int> fanouts_;
+  std::uint64_t sample_seed_;
+  EmbedCache* cache_;
+  ShardedFeatureCache* feature_cache_;
+
+  std::vector<Level> levels_;
+  ForwardScratch fwd_scratch_;
+  DenseMatrix inputs_, layer_out_;
+  EmbedForwardStats stats_;
+};
+
+}  // namespace distgnn::serve

@@ -4,174 +4,47 @@
 #include <cstring>
 #include <stdexcept>
 
-#include "util/rng.hpp"
-
 namespace distgnn::serve {
 
-ShardedFeatureCache::ShardedFeatureCache(std::uint64_t capacity_bytes, std::size_t dim,
-                                         int num_shards)
-    : dim_(dim) {
+std::uint64_t ShardedFeatureCache::entries_for(std::uint64_t capacity_bytes, std::size_t dim,
+                                               int num_shards) {
   if (dim == 0) throw std::invalid_argument("ShardedFeatureCache: dim must be > 0");
   if (num_shards < 1) throw std::invalid_argument("ShardedFeatureCache: need >= 1 shard");
   const std::uint64_t entry_bytes = static_cast<std::uint64_t>(dim) * sizeof(real_t);
-  const std::uint64_t total_entries =
-      std::max<std::uint64_t>(static_cast<std::uint64_t>(num_shards), capacity_bytes / entry_bytes);
-  entries_per_shard_ = std::max<std::uint64_t>(1, total_entries / static_cast<std::uint64_t>(num_shards));
-  shards_.reserve(static_cast<std::size_t>(num_shards));
-  for (int i = 0; i < num_shards; ++i) {
-    auto shard = std::make_unique<Shard>();
-    shard->entries.resize(entries_per_shard_);
-    shard->slab.resize(entries_per_shard_ * dim_);
-    shard->free_list.reserve(entries_per_shard_);
-    for (std::uint64_t e = 0; e < entries_per_shard_; ++e)
-      shard->free_list.push_back(static_cast<int>(entries_per_shard_ - 1 - e));
-    shard->index.reserve(2 * entries_per_shard_);
-    shards_.push_back(std::move(shard));
-  }
+  return std::max<std::uint64_t>(static_cast<std::uint64_t>(num_shards),
+                                 capacity_bytes / entry_bytes);
 }
 
-std::uint64_t ShardedFeatureCache::capacity_entries() const {
-  return entries_per_shard_ * shards_.size();
-}
-
-ShardedFeatureCache::Shard& ShardedFeatureCache::shard_for(std::uint64_t key) {
-  // splitmix64 spreads sequential vertex ids over shards.
-  return *shards_[static_cast<std::size_t>(splitmix64(key) % shards_.size())];
-}
-
-void ShardedFeatureCache::unlink(Shard& s, int idx) const {
-  Entry& e = s.entries[static_cast<std::size_t>(idx)];
-  if (e.prev >= 0) s.entries[static_cast<std::size_t>(e.prev)].next = e.next;
-  else s.head = e.next;
-  if (e.next >= 0) s.entries[static_cast<std::size_t>(e.next)].prev = e.prev;
-  else s.tail = e.prev;
-  e.prev = e.next = -1;
-}
-
-void ShardedFeatureCache::push_front(Shard& s, int idx) const {
-  Entry& e = s.entries[static_cast<std::size_t>(idx)];
-  e.prev = -1;
-  e.next = s.head;
-  if (s.head >= 0) s.entries[static_cast<std::size_t>(s.head)].prev = idx;
-  s.head = idx;
-  if (s.tail < 0) s.tail = idx;
-}
+ShardedFeatureCache::ShardedFeatureCache(std::uint64_t capacity_bytes, std::size_t dim,
+                                         int num_shards)
+    : dim_(dim),
+      lru_(entries_for(capacity_bytes, dim, num_shards), num_shards,
+           static_cast<std::uint64_t>(dim) * sizeof(real_t)) {}
 
 bool ShardedFeatureCache::get_or_fill(int space, std::uint64_t key, real_t* out,
                                       const FillFn& fill) {
-  if (space < 0) throw std::out_of_range("ShardedFeatureCache: negative space id");
-  Shard& s = shard_for(key);
-  const std::uint64_t tag = make_tag(space, key);
-  const std::uint64_t row_bytes = dim_ * sizeof(real_t);
-
-  std::lock_guard<std::mutex> lock(s.mutex);
-  if (static_cast<std::size_t>(space) >= s.per_space.size()) s.per_space.resize(space + 1);
-  CacheStats& stats = s.per_space[static_cast<std::size_t>(space)];
-  ++stats.accesses;
-
-  const auto it = s.index.find(tag);
-  if (it != s.index.end()) {
-    const int idx = it->second;
-    unlink(s, idx);
-    push_front(s, idx);
-    std::memcpy(out, s.slab.data() + static_cast<std::size_t>(idx) * dim_, row_bytes);
-    return true;
-  }
-
-  ++stats.misses;
-  stats.bytes_read += row_bytes;  // miss fill traffic, as in cachesim
-  if (s.free_list.empty()) {
-    const int victim = s.tail;
-    s.index.erase(s.entries[static_cast<std::size_t>(victim)].tag);
-    unlink(s, victim);
-    s.free_list.push_back(victim);
-  }
-  const int idx = s.free_list.back();
-  s.free_list.pop_back();
-  real_t* row = s.slab.data() + static_cast<std::size_t>(idx) * dim_;
-  fill(row);
-  std::memcpy(out, row, row_bytes);
-  s.entries[static_cast<std::size_t>(idx)].tag = tag;
-  s.index.emplace(tag, idx);
-  push_front(s, idx);
-  return false;
+  const std::size_t row_bytes = dim_ * sizeof(real_t);
+  return lru_.get_or_fill(
+      space, key,
+      [&](std::vector<real_t>& row) {
+        row.resize(dim_);  // recycled slots keep their capacity: no allocation
+        fill(row.data());
+      },
+      [&](const std::vector<real_t>& row) { std::memcpy(out, row.data(), row_bytes); });
 }
 
 bool ShardedFeatureCache::lookup(int space, std::uint64_t key, real_t* out) {
-  if (space < 0) throw std::out_of_range("ShardedFeatureCache: negative space id");
-  Shard& s = shard_for(key);
-  const std::uint64_t tag = make_tag(space, key);
-
-  std::lock_guard<std::mutex> lock(s.mutex);
-  if (static_cast<std::size_t>(space) >= s.per_space.size()) s.per_space.resize(space + 1);
-  CacheStats& stats = s.per_space[static_cast<std::size_t>(space)];
-  ++stats.accesses;
-
-  const auto it = s.index.find(tag);
-  if (it == s.index.end()) {
-    ++stats.misses;
-    return false;
-  }
-  const int idx = it->second;
-  unlink(s, idx);
-  push_front(s, idx);
-  std::memcpy(out, s.slab.data() + static_cast<std::size_t>(idx) * dim_, dim_ * sizeof(real_t));
-  return true;
+  return lru_.lookup(space, key, [&](const std::vector<real_t>& row) {
+    std::memcpy(out, row.data(), dim_ * sizeof(real_t));
+  });
 }
 
 void ShardedFeatureCache::insert(int space, std::uint64_t key, const real_t* row) {
-  if (space < 0) throw std::out_of_range("ShardedFeatureCache: negative space id");
-  Shard& s = shard_for(key);
-  const std::uint64_t tag = make_tag(space, key);
-
-  std::lock_guard<std::mutex> lock(s.mutex);
-  if (static_cast<std::size_t>(space) >= s.per_space.size()) s.per_space.resize(space + 1);
-  s.per_space[static_cast<std::size_t>(space)].bytes_read += dim_ * sizeof(real_t);
-  if (s.index.count(tag) > 0) return;  // raced fill: already resident
-  if (s.free_list.empty()) {
-    const int victim = s.tail;
-    s.index.erase(s.entries[static_cast<std::size_t>(victim)].tag);
-    unlink(s, victim);
-    s.free_list.push_back(victim);
-  }
-  const int idx = s.free_list.back();
-  s.free_list.pop_back();
-  std::memcpy(s.slab.data() + static_cast<std::size_t>(idx) * dim_, row, dim_ * sizeof(real_t));
-  s.entries[static_cast<std::size_t>(idx)].tag = tag;
-  s.index.emplace(tag, idx);
-  push_front(s, idx);
+  lru_.insert(space, key, [&](std::vector<real_t>& slot) {
+    slot.assign(row, row + dim_);
+  });
 }
 
-void ShardedFeatureCache::invalidate() {
-  for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    while (shard->head >= 0) {
-      const int idx = shard->head;
-      shard->index.erase(shard->entries[static_cast<std::size_t>(idx)].tag);
-      unlink(*shard, idx);
-      shard->free_list.push_back(idx);
-    }
-  }
-}
-
-CacheStats ShardedFeatureCache::stats(int space) const {
-  CacheStats out;
-  if (space < 0) return out;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    if (static_cast<std::size_t>(space) < shard->per_space.size())
-      out += shard->per_space[static_cast<std::size_t>(space)];
-  }
-  return out;
-}
-
-CacheStats ShardedFeatureCache::combined_stats() const {
-  CacheStats out;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    for (const CacheStats& s : shard->per_space) out += s;
-  }
-  return out;
-}
+void ShardedFeatureCache::invalidate() { lru_.invalidate(); }
 
 }  // namespace distgnn::serve

@@ -1,26 +1,24 @@
-// Sharded LRU feature/embedding cache for the inference servers.
+// Sharded LRU feature cache for the inference servers.
 //
 // Unlike cachesim/LruCache — a *model* that only counts — this cache really
 // stores feature vectors: a hit copies the cached bytes out, a miss runs the
 // caller's fill function (feature-matrix row copy, or a point-to-point fetch
 // from the owning rank in sharded mode) and retains the result. Entries are
-// fixed-width (`dim` floats), the slab is allocated up front, and the LRU
-// discipline matches cachesim so the two report comparable CacheStats.
+// fixed-width (`dim` floats) and the LRU discipline matches cachesim so the
+// two report comparable CacheStats.
 //
-// Sharding: keys are hashed over `num_shards` independent LRUs, each behind
-// its own mutex, so concurrent server workers rarely contend. Object spaces
-// keep separate statistics (space 0 = local features, space 1 = halo/remote
-// rows by convention) exactly as in cachesim.
+// Storage and sharding live in the generic ShardedLru (shared with the
+// embedding cache): keys are hashed over `num_shards` independent LRUs, each
+// behind its own mutex, so concurrent server workers rarely contend. Object
+// spaces keep separate statistics (space 0 = local features, space 1 =
+// halo/remote rows by convention) exactly as in cachesim.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <mutex>
-#include <unordered_map>
 #include <vector>
 
-#include "cachesim/lru_cache.hpp"
+#include "serve/sharded_lru.hpp"
 #include "util/types.hpp"
 
 namespace distgnn::serve {
@@ -48,48 +46,24 @@ class ShardedFeatureCache {
   bool lookup(int space, std::uint64_t key, real_t* out);
   void insert(int space, std::uint64_t key, const real_t* row);
 
-  /// Drops every entry (hot-swap invalidation for embedding spaces) without
-  /// resetting statistics.
+  /// Drops every entry (hot-swap invalidation) without resetting statistics.
   void invalidate();
 
   std::size_t dim() const { return dim_; }
-  int num_shards() const { return static_cast<int>(shards_.size()); }
-  std::uint64_t capacity_entries() const;
+  int num_shards() const { return lru_.num_shards(); }
+  std::uint64_t capacity_entries() const { return lru_.capacity_entries(); }
 
   /// Statistics aggregated over shards, per space / combined (cachesim
   /// definitions: reuse = accesses per miss, bytes via dim * sizeof(real_t)).
-  CacheStats stats(int space) const;
-  CacheStats combined_stats() const;
+  CacheStats stats(int space) const { return lru_.stats(space); }
+  CacheStats combined_stats() const { return lru_.combined_stats(); }
 
  private:
-  struct Entry {
-    std::uint64_t tag = 0;  // (space << 56) | key, as in cachesim
-    int prev = -1;
-    int next = -1;
-  };
-
-  struct Shard {
-    mutable std::mutex mutex;
-    std::vector<Entry> entries;
-    std::vector<real_t> slab;  // entries.size() * dim floats
-    std::vector<int> free_list;
-    int head = -1;
-    int tail = -1;
-    std::unordered_map<std::uint64_t, int> index;
-    std::vector<CacheStats> per_space;
-  };
-
-  static std::uint64_t make_tag(int space, std::uint64_t key) {
-    return (static_cast<std::uint64_t>(space) << 56) | (key & 0x00ffffffffffffffULL);
-  }
-
-  Shard& shard_for(std::uint64_t key);
-  void unlink(Shard& s, int idx) const;
-  void push_front(Shard& s, int idx) const;
+  static std::uint64_t entries_for(std::uint64_t capacity_bytes, std::size_t dim,
+                                   int num_shards);
 
   std::size_t dim_;
-  std::uint64_t entries_per_shard_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  ShardedLru<std::uint64_t, std::vector<real_t>> lru_;
 };
 
 }  // namespace distgnn::serve

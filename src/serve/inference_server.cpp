@@ -21,6 +21,12 @@ InferenceServer::InferenceServer(const Dataset& dataset, ServeConfig config)
   if (config_.num_workers < 1) throw std::invalid_argument("InferenceServer: need >= 1 worker");
   if (config_.max_batch < 1) throw std::invalid_argument("InferenceServer: max_batch must be >= 1");
   if (config_.fanouts.empty()) throw std::invalid_argument("InferenceServer: fanouts empty");
+  // Hot-swap invalidation for the layer-output cache: entries are
+  // version-keyed (stale rows can never match), so the hook is capacity
+  // hygiene — a publish frees the dead version's slots immediately.
+  holder_.set_on_publish([this](std::uint64_t) {
+    if (EmbedCache* cache = embed_cache_ptr()) cache->invalidate();
+  });
   // Force CSR construction now so worker threads share the built structure.
   (void)dataset_.graph.in_csr();
 }
@@ -29,10 +35,27 @@ InferenceServer::~InferenceServer() { stop(); }
 
 void InferenceServer::publish(std::shared_ptr<const ModelSnapshot> snapshot) {
   if (!snapshot) throw std::invalid_argument("InferenceServer: null snapshot");
-  if (snapshot->spec().num_layers != static_cast<int>(config_.fanouts.size()))
+  const ModelSpec& spec = snapshot->spec();
+  if (spec.num_layers != static_cast<int>(config_.fanouts.size()))
     throw std::invalid_argument("InferenceServer: fanouts depth != model layers");
-  if (snapshot->spec().feature_dim != dataset_.feature_dim())
+  if (spec.feature_dim != dataset_.feature_dim())
     throw std::invalid_argument("InferenceServer: snapshot feature_dim != dataset");
+  if (config_.embed_forward && config_.embed_cache_bytes > 0) {
+    std::lock_guard<std::mutex> lock(embed_mutex_);
+    if (!embed_cache_) {
+      // First publish fixes the cached row widths; later snapshots must keep
+      // them (per-layer dims are part of the cache geometry). Entries per
+      // layer are capped at the vertex count — the whole key population,
+      // since publish invalidation keeps a single version resident.
+      embed_cache_ = std::make_unique<EmbedCache>(
+          spec, config_.embed_cache_bytes, config_.embed_cache_shards,
+          static_cast<std::uint64_t>(dataset_.num_vertices()));
+    } else {
+      for (int l = 1; l <= spec.num_layers; ++l)
+        if (embed_cache_->dim(l) != spec.out_dim(l - 1))
+          throw std::invalid_argument("InferenceServer: snapshot dims != embed cache dims");
+    }
+  }
   holder_.publish(std::move(snapshot));
 }
 
@@ -87,7 +110,26 @@ InferResult InferenceServer::infer_sync(vid_t vertex) {
   return future.get();
 }
 
+EmbedCache* InferenceServer::embed_cache_ptr() const {
+  std::lock_guard<std::mutex> lock(embed_mutex_);
+  return embed_cache_.get();
+}
+
 void InferenceServer::worker_loop() {
+  if (config_.embed_forward) {
+    // start() requires a prior publish, so the cache pointer is stable for
+    // the whole worker lifetime.
+    EmbedForward evaluator(dataset_, config_.fanouts, config_.sample_seed, embed_cache_ptr(),
+                           &cache_);
+    std::vector<vid_t> seeds;
+    DenseMatrix logits;
+    while (true) {
+      std::vector<InferRequest> batch =
+          queue_.pop_batch(config_.max_batch, config_.max_batch_delay);
+      if (batch.empty()) return;  // closed and drained
+      process_batch_embed(std::move(batch), evaluator, seeds, logits);
+    }
+  }
   ForwardScratch scratch;
   std::vector<MiniBatch> minibatches;
   DenseMatrix inputs, logits;
@@ -132,7 +174,23 @@ void InferenceServer::process_batch(std::vector<InferRequest>&& batch, ForwardSc
   }
 
   snapshot->forward_batch(minibatches, inputs.cview(), scratch, logits);
+  finish_batch(batch, logits, snapshot->version(), service_begin);
+}
 
+void InferenceServer::process_batch_embed(std::vector<InferRequest>&& batch,
+                                          EmbedForward& evaluator, std::vector<vid_t>& seeds,
+                                          DenseMatrix& logits) {
+  const auto service_begin = ServeClock::now();
+  const std::shared_ptr<const ModelSnapshot> snapshot = holder_.get();
+  seeds.clear();
+  for (const InferRequest& request : batch) seeds.push_back(request.vertex);
+  evaluator.infer(*snapshot, seeds, logits);
+  finish_batch(batch, logits, snapshot->version(), service_begin);
+}
+
+void InferenceServer::finish_batch(std::vector<InferRequest>& batch, const DenseMatrix& logits,
+                                   std::uint64_t snapshot_version,
+                                   ServeClock::time_point service_begin) {
   const auto now = ServeClock::now();
   for (std::size_t r = 0; r < batch.size(); ++r) {
     InferResult result;
@@ -140,7 +198,7 @@ void InferenceServer::process_batch(std::vector<InferRequest>&& batch, ForwardSc
     result.vertex = batch[r].vertex;
     result.logits.assign(logits.row(r), logits.row(r) + logits.cols());
     result.latency_seconds = std::chrono::duration<double>(now - batch[r].enqueue).count();
-    result.snapshot_version = snapshot->version();
+    result.snapshot_version = snapshot_version;
     if (batch[r].done) batch[r].done(std::move(result));
   }
 
@@ -177,6 +235,7 @@ ServerStats InferenceServer::stats() const {
   s.service_seconds = static_cast<double>(service_ns_.load(std::memory_order_relaxed)) * 1e-9;
   s.queue_depth = queue_.size();
   s.feature_cache = cache_.stats(/*space=*/0);
+  if (const EmbedCache* cache = embed_cache_ptr()) s.embed_cache = cache->combined_stats();
   return s;
 }
 

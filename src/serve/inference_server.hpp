@@ -13,10 +13,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "graph/datasets.hpp"
+#include "serve/embed_cache.hpp"
 #include "serve/feature_cache.hpp"
 #include "serve/model_snapshot.hpp"
 #include "serve/request_queue.hpp"
@@ -36,6 +38,19 @@ struct ServeConfig {
   /// server uses the same mix, which is what makes single-process and
   /// sharded answers comparable bit for bit.
   std::uint64_t sample_seed = 1;
+
+  /// Embedding-cached serving: when true, requests run through EmbedForward
+  /// (canonical per-(vertex, layer) sampling) and freshly computed layer
+  /// outputs are memoized in an EmbedCache keyed by (vertex, layer, snapshot
+  /// version), so hot vertices short-circuit their whole sampled subtree.
+  /// Answers are bitwise-stable across cache state (on/off/hit/miss) but use
+  /// a different sampling stream than the classic path, so the two modes are
+  /// not bitwise-comparable to each other.
+  bool embed_forward = false;
+  /// Embedding-cache capacity, split over layers (0 = run EmbedForward with
+  /// no cache — the A/B baseline the embed-cache bench compares against).
+  std::uint64_t embed_cache_bytes = 32ull << 20;
+  int embed_cache_shards = 8;
 };
 
 struct ServerStats {
@@ -47,6 +62,7 @@ struct ServerStats {
   double service_seconds = 0;     // Σ worker time spent inside process_batch
   std::size_t queue_depth = 0;    // requests waiting at the time of the call
   CacheStats feature_cache;  // space 0: local feature rows
+  CacheStats embed_cache;    // layer-output cache, all layers (embed mode only)
 
   double mean_batch() const {
     return batches == 0 ? 0.0 : static_cast<double>(batched_requests) / static_cast<double>(batches);
@@ -102,18 +118,31 @@ class InferenceServer {
   ServerStats stats() const;
   const ServeConfig& config() const { return config_; }
   const Dataset& dataset() const { return dataset_; }
+  /// Layer-output cache (null unless embed_forward with embed_cache_bytes >
+  /// 0 and a snapshot has been published).
+  const EmbedCache* embed_cache() const { return embed_cache_ptr(); }
 
  private:
   void worker_loop();
   void process_batch(std::vector<InferRequest>&& batch, ForwardScratch& scratch,
                      std::vector<MiniBatch>& minibatches, DenseMatrix& inputs,
                      DenseMatrix& logits);
+  void process_batch_embed(std::vector<InferRequest>&& batch, EmbedForward& evaluator,
+                           std::vector<vid_t>& seeds, DenseMatrix& logits);
+  void finish_batch(std::vector<InferRequest>& batch, const DenseMatrix& logits,
+                    std::uint64_t snapshot_version, ServeClock::time_point service_begin);
+  EmbedCache* embed_cache_ptr() const;
 
   const Dataset& dataset_;
   ServeConfig config_;
   SnapshotHolder holder_;
   BoundedRequestQueue queue_;
   ShardedFeatureCache cache_;
+  /// Created lazily at first publish (the spec fixes its geometry); guarded
+  /// by embed_mutex_ so concurrent publishers / stats readers never race the
+  /// unique_ptr. The EmbedCache itself is internally thread-safe.
+  mutable std::mutex embed_mutex_;
+  std::unique_ptr<EmbedCache> embed_cache_;
   std::vector<std::thread> workers_;
   bool running_ = false;
 

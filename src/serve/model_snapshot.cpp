@@ -199,110 +199,156 @@ void ModelSnapshot::forward_batch(std::span<const MiniBatch> batch, ConstMatrixV
   std::copy(out.data(), out.data() + out.size(), logits.data());
 }
 
-void ModelSnapshot::forward_sage(std::span<const MiniBatch> batch, ForwardScratch& scratch) const {
-  for (std::size_t l = 0; l < layers_.size(); ++l) {
-    const LayerWeights& lw = layers_[l];
-    const DenseMatrix& cur = scratch.acts[l];
-    const std::size_t d = cur.cols();
-    const std::size_t out_rows = batch_rows(batch, l, /*src_side=*/false);
+template <typename BlockAt>
+void ModelSnapshot::sage_layer(const LayerWeights& lw, std::size_t num_requests,
+                               const BlockAt& block_at, ConstMatrixView cur,
+                               ForwardScratch& scratch, DenseMatrix& next) const {
+  const std::size_t d = cur.cols;
+  std::size_t out_rows = 0;
+  for (std::size_t i = 0; i < num_requests; ++i)
+    out_rows += static_cast<std::size_t>(block_at(i).num_dst);
 
-    // combined = (agg + h_dst) * 1/(deg+1), computed in place over the
-    // stacked destination rows; each request's rows reference only its own
-    // source-row slice, so the result is independent of batch composition.
-    DenseMatrix& combined = scratch.agg;
-    combined.resize_discard(out_rows, d, 0);
-    std::size_t in_off = 0, out_off = 0;
-    for (const MiniBatch& mb : batch) {
-      const SampledBlock& block = mb.blocks[l];
-      for (vid_t v = 0; v < block.num_dst; ++v) {
-        const auto nbrs = block.neighbors(v);
-        real_t* c = combined.row(out_off + static_cast<std::size_t>(v));
-        for (const vid_t u : nbrs) {
-          const real_t* s = cur.row(in_off + static_cast<std::size_t>(u));
-          for (std::size_t j = 0; j < d; ++j) c[j] += s[j];
-        }
-        const real_t inv = 1.0f / (static_cast<real_t>(nbrs.size()) + 1.0f);
-        const real_t* h = cur.row(in_off + static_cast<std::size_t>(v));
-        for (std::size_t j = 0; j < d; ++j) c[j] = (c[j] + h[j]) * inv;
+  // combined = (agg + h_dst) * 1/(deg+1), computed in place over the
+  // stacked destination rows; each request's rows reference only its own
+  // source-row slice, so the result is independent of batch composition.
+  DenseMatrix& combined = scratch.agg;
+  combined.resize_discard(out_rows, d, 0);
+  std::size_t in_off = 0, out_off = 0;
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    const SampledBlock& block = block_at(i);
+    for (vid_t v = 0; v < block.num_dst; ++v) {
+      const auto nbrs = block.neighbors(v);
+      real_t* c = combined.row(out_off + static_cast<std::size_t>(v));
+      for (const vid_t u : nbrs) {
+        const real_t* s = cur.row(in_off + static_cast<std::size_t>(u));
+        for (std::size_t j = 0; j < d; ++j) c[j] += s[j];
       }
-      in_off += static_cast<std::size_t>(block.num_src);
-      out_off += static_cast<std::size_t>(block.num_dst);
+      const real_t inv = 1.0f / (static_cast<real_t>(nbrs.size()) + 1.0f);
+      const real_t* h = cur.row(in_off + static_cast<std::size_t>(v));
+      for (std::size_t j = 0; j < d; ++j) c[j] = (c[j] + h[j]) * inv;
     }
-
-    DenseMatrix& next = scratch.acts[l + 1];
-    next.resize_discard(out_rows, lw.weight.cols());
-    dense_affine(combined.cview(), lw.weight, lw.bias, next.view());
-    if (lw.relu) {
-      real_t* y = next.data();
-      for (std::size_t i = 0; i < next.size(); ++i) y[i] = y[i] > 0 ? y[i] : 0;
-    }
+    in_off += static_cast<std::size_t>(block.num_src);
+    out_off += static_cast<std::size_t>(block.num_dst);
   }
+
+  next.resize_discard(out_rows, lw.weight.cols());
+  dense_affine(combined.cview(), lw.weight, lw.bias, next.view());
+  if (lw.relu) {
+    real_t* y = next.data();
+    for (std::size_t i = 0; i < next.size(); ++i) y[i] = y[i] > 0 ? y[i] : 0;
+  }
+}
+
+template <typename BlockAt>
+void ModelSnapshot::gat_layer(const LayerWeights& lw, std::size_t num_requests,
+                              const BlockAt& block_at, ConstMatrixView cur,
+                              ForwardScratch& scratch, DenseMatrix& next) const {
+  const std::size_t d = lw.weight.cols();
+  const std::size_t in_rows = cur.rows;
+  std::size_t out_rows = 0;
+  for (std::size_t i = 0; i < num_requests; ++i)
+    out_rows += static_cast<std::size_t>(block_at(i).num_dst);
+
+  // Projection of every source row, then per-destination attention over the
+  // sampled in-neighbours (GatInference semantics: no self edge, degree-0
+  // destinations output zeros).
+  DenseMatrix& z = scratch.z;
+  z.resize_discard(in_rows, d);
+  const DenseMatrix zero_bias(1, d);  // the GAT projection is bias-free
+  dense_affine(cur, lw.weight, zero_bias, z.view());
+
+  next.resize_discard(out_rows, d, 0);
+
+  std::size_t in_off = 0, out_off = 0;
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    const SampledBlock& block = block_at(i);
+    for (vid_t v = 0; v < block.num_dst; ++v) {
+      const auto nbrs = block.neighbors(v);
+      real_t* out = next.row(out_off + static_cast<std::size_t>(v));
+      if (nbrs.empty()) continue;
+
+      const real_t* zv = z.row(in_off + static_cast<std::size_t>(v));
+      real_t dst_term = 0;
+      for (std::size_t j = 0; j < d; ++j) dst_term += zv[j] * lw.attn_dst.at(0, j);
+
+      scratch.scores.resize(nbrs.size());
+      real_t max_score = -std::numeric_limits<real_t>::infinity();
+      for (std::size_t n = 0; n < nbrs.size(); ++n) {
+        const real_t* zu = z.row(in_off + static_cast<std::size_t>(nbrs[n]));
+        real_t src_term = 0;
+        for (std::size_t j = 0; j < d; ++j) src_term += zu[j] * lw.attn_src.at(0, j);
+        const real_t raw = src_term + dst_term;
+        const real_t score = raw > 0 ? raw : spec_.leaky_slope * raw;
+        scratch.scores[n] = score;
+        max_score = std::max(max_score, score);
+      }
+      real_t denom = 0;
+      for (real_t& s : scratch.scores) {
+        s = std::exp(s - max_score);
+        denom += s;
+      }
+      const real_t inv = 1.0f / denom;
+      for (std::size_t n = 0; n < nbrs.size(); ++n) {
+        const real_t alpha = scratch.scores[n] * inv;
+        const real_t* zu = z.row(in_off + static_cast<std::size_t>(nbrs[n]));
+        for (std::size_t j = 0; j < d; ++j) out[j] += alpha * zu[j];
+      }
+    }
+    in_off += static_cast<std::size_t>(block.num_src);
+    out_off += static_cast<std::size_t>(block.num_dst);
+  }
+}
+
+void ModelSnapshot::forward_sage(std::span<const MiniBatch> batch, ForwardScratch& scratch) const {
+  for (std::size_t l = 0; l < layers_.size(); ++l)
+    sage_layer(
+        layers_[l], batch.size(),
+        [&](std::size_t i) -> const SampledBlock& { return batch[i].blocks[l]; },
+        scratch.acts[l].cview(), scratch, scratch.acts[l + 1]);
 }
 
 void ModelSnapshot::forward_gat(std::span<const MiniBatch> batch, ForwardScratch& scratch) const {
-  for (std::size_t l = 0; l < layers_.size(); ++l) {
-    const LayerWeights& lw = layers_[l];
-    const DenseMatrix& cur = scratch.acts[l];
-    const std::size_t d = lw.weight.cols();
-    const std::size_t in_rows = cur.rows();
-    const std::size_t out_rows = batch_rows(batch, l, /*src_side=*/false);
+  for (std::size_t l = 0; l < layers_.size(); ++l)
+    gat_layer(
+        layers_[l], batch.size(),
+        [&](std::size_t i) -> const SampledBlock& { return batch[i].blocks[l]; },
+        scratch.acts[l].cview(), scratch, scratch.acts[l + 1]);
+}
 
-    // Projection of every source row, then per-destination attention over the
-    // sampled in-neighbours (GatInference semantics: no self edge, degree-0
-    // destinations output zeros).
-    DenseMatrix& z = scratch.z;
-    z.resize_discard(in_rows, d);
-    const DenseMatrix zero_bias(1, d);  // the GAT projection is bias-free
-    dense_affine(cur.cview(), lw.weight, zero_bias, z.view());
+void ModelSnapshot::forward_layer(int layer, std::span<const MiniBatch> batch,
+                                  ConstMatrixView inputs, ForwardScratch& scratch,
+                                  DenseMatrix& out) const {
+  if (layer < 0 || layer >= static_cast<int>(layers_.size()))
+    throw std::invalid_argument("ModelSnapshot::forward_layer: layer out of range");
+  for (const MiniBatch& mb : batch)
+    if (mb.blocks.size() != 1)
+      throw std::invalid_argument("ModelSnapshot::forward_layer: expects one-hop minibatches");
+  if (inputs.rows != batch_rows(batch, 0, /*src_side=*/true) ||
+      inputs.cols != spec_.in_dim(layer))
+    throw std::invalid_argument("ModelSnapshot::forward_layer: stacked input shape mismatch");
 
-    DenseMatrix& next = scratch.acts[l + 1];
-    next.resize_discard(out_rows, d, 0);
-
-    std::size_t in_off = 0, out_off = 0;
-    for (const MiniBatch& mb : batch) {
-      const SampledBlock& block = mb.blocks[l];
-      for (vid_t v = 0; v < block.num_dst; ++v) {
-        const auto nbrs = block.neighbors(v);
-        real_t* out = next.row(out_off + static_cast<std::size_t>(v));
-        if (nbrs.empty()) continue;
-
-        const real_t* zv = z.row(in_off + static_cast<std::size_t>(v));
-        real_t dst_term = 0;
-        for (std::size_t j = 0; j < d; ++j) dst_term += zv[j] * lw.attn_dst.at(0, j);
-
-        scratch.scores.resize(nbrs.size());
-        real_t max_score = -std::numeric_limits<real_t>::infinity();
-        for (std::size_t i = 0; i < nbrs.size(); ++i) {
-          const real_t* zu = z.row(in_off + static_cast<std::size_t>(nbrs[i]));
-          real_t src_term = 0;
-          for (std::size_t j = 0; j < d; ++j) src_term += zu[j] * lw.attn_src.at(0, j);
-          const real_t raw = src_term + dst_term;
-          const real_t score = raw > 0 ? raw : spec_.leaky_slope * raw;
-          scratch.scores[i] = score;
-          max_score = std::max(max_score, score);
-        }
-        real_t denom = 0;
-        for (real_t& s : scratch.scores) {
-          s = std::exp(s - max_score);
-          denom += s;
-        }
-        const real_t inv = 1.0f / denom;
-        for (std::size_t i = 0; i < nbrs.size(); ++i) {
-          const real_t alpha = scratch.scores[i] * inv;
-          const real_t* zu = z.row(in_off + static_cast<std::size_t>(nbrs[i]));
-          for (std::size_t j = 0; j < d; ++j) out[j] += alpha * zu[j];
-        }
-      }
-      in_off += static_cast<std::size_t>(block.num_src);
-      out_off += static_cast<std::size_t>(block.num_dst);
-    }
-  }
+  const auto block_at = [&](std::size_t i) -> const SampledBlock& { return batch[i].blocks[0]; };
+  if (spec_.kind == ModelKind::kSage)
+    sage_layer(layers_[static_cast<std::size_t>(layer)], batch.size(), block_at, inputs, scratch,
+               out);
+  else
+    gat_layer(layers_[static_cast<std::size_t>(layer)], batch.size(), block_at, inputs, scratch,
+              out);
 }
 
 void SnapshotHolder::publish(std::shared_ptr<const ModelSnapshot> snapshot) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  current_ = std::move(snapshot);
-  ++publishes_;
+  std::uint64_t version = 0;
+  std::function<void(std::uint64_t)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (snapshot) version = snapshot->version();
+    current_ = std::move(snapshot);
+    ++publishes_;
+    hook = on_publish_;
+  }
+  // Outside the lock: the hook may take cache shard locks, and readers must
+  // not block behind it.
+  if (hook) hook(version);
 }
 
 std::shared_ptr<const ModelSnapshot> SnapshotHolder::get() const {
@@ -313,6 +359,11 @@ std::shared_ptr<const ModelSnapshot> SnapshotHolder::get() const {
 std::uint64_t SnapshotHolder::num_publishes() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return publishes_;
+}
+
+void SnapshotHolder::set_on_publish(std::function<void(std::uint64_t)> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  on_publish_ = std::move(hook);
 }
 
 }  // namespace distgnn::serve

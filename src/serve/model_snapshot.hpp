@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -92,6 +93,17 @@ class ModelSnapshot {
   void forward_batch(std::span<const MiniBatch> batch, ConstMatrixView inputs,
                      ForwardScratch& scratch, DenseMatrix& logits) const;
 
+  /// Applies exactly one layer to stacked one-hop blocks: each MiniBatch in
+  /// `batch` must hold a single block, `inputs` is the stacked layer-`layer`
+  /// input gather (one row per block source vertex, request-major), and
+  /// `out` receives one row per destination vertex. Runs through the same
+  /// per-layer core as forward_batch, so a layer applied here is
+  /// bitwise-equal to the corresponding step of a full forward — the
+  /// embedding cache (EmbedForward) relies on that to mix cached and freshly
+  /// computed hop-k embeddings.
+  void forward_layer(int layer, std::span<const MiniBatch> batch, ConstMatrixView inputs,
+                     ForwardScratch& scratch, DenseMatrix& out) const;
+
  private:
   struct LayerWeights {
     DenseMatrix weight;     // in x out
@@ -110,6 +122,18 @@ class ModelSnapshot {
   void forward_sage(std::span<const MiniBatch> batch, ForwardScratch& scratch) const;
   void forward_gat(std::span<const MiniBatch> batch, ForwardScratch& scratch) const;
 
+  /// Shared per-layer cores: `block_at(i)` yields the i-th request's block
+  /// for the layer being applied (blocks[l] in a full forward, blocks[0] in
+  /// forward_layer), `cur` the stacked input rows, `next` the stacked output
+  /// rows. Both full-forward and single-layer paths run through these, which
+  /// is what makes them bitwise-interchangeable.
+  template <typename BlockAt>
+  void sage_layer(const LayerWeights& lw, std::size_t num_requests, const BlockAt& block_at,
+                  ConstMatrixView cur, ForwardScratch& scratch, DenseMatrix& next) const;
+  template <typename BlockAt>
+  void gat_layer(const LayerWeights& lw, std::size_t num_requests, const BlockAt& block_at,
+                 ConstMatrixView cur, ForwardScratch& scratch, DenseMatrix& next) const;
+
   ModelSpec spec_;
   std::uint64_t version_ = 0;
   std::vector<LayerWeights> layers_;
@@ -123,10 +147,16 @@ class SnapshotHolder {
   std::shared_ptr<const ModelSnapshot> get() const;
   std::uint64_t num_publishes() const;
 
+  /// Hook invoked after every publish, outside the holder lock, with the new
+  /// snapshot's version — the invalidation point version-keyed caches (the
+  /// serving embedding cache) wire into so a hot-swap drops stale entries.
+  void set_on_publish(std::function<void(std::uint64_t version)> hook);
+
  private:
   mutable std::mutex mutex_;
   std::shared_ptr<const ModelSnapshot> current_;
   std::uint64_t publishes_ = 0;
+  std::function<void(std::uint64_t)> on_publish_;
 };
 
 }  // namespace distgnn::serve

@@ -1,0 +1,247 @@
+// Generic sharded LRU — the storage engine shared by ShardedFeatureCache
+// (raw feature rows) and EmbedCache (per-layer embedding rows).
+//
+// Extracted from ShardedFeatureCache so the serving tier has exactly one
+// implementation of the sharded-LRU discipline: keys are hashed over
+// `num_shards` independent LRUs, each behind its own mutex, so concurrent
+// server workers rarely contend. Slot values are recycled in place (a
+// std::vector<real_t> slot keeps its capacity across reuse), so steady-state
+// operation performs no allocation. Object spaces keep separate CacheStats
+// with cachesim's definitions — accesses, misses, and `charge_bytes` of fill
+// traffic per miss — so every cache in the tree reports comparable numbers.
+//
+// Thread-safety: all public methods are safe to call concurrently; fill/use
+// callbacks run under the owning shard's lock, so they must not re-enter the
+// cache or block on communication (callers with a round-trip fill use the
+// lookup()/insert() split instead, exactly as ShardedFeatureCache documents).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "cachesim/lru_cache.hpp"
+#include "util/rng.hpp"
+
+namespace distgnn::serve {
+
+/// Default key spreader: splitmix64 over std::hash, so sequential vertex ids
+/// land on distinct shards (std::hash is identity for integers on libstdc++).
+template <typename K>
+struct SplitmixHash {
+  std::uint64_t operator()(const K& key) const {
+    return splitmix64(static_cast<std::uint64_t>(std::hash<K>{}(key)));
+  }
+};
+
+template <typename K, typename V, typename Hash = SplitmixHash<K>>
+class ShardedLru {
+ public:
+  /// `capacity_entries` is split evenly over shards (each shard holds at
+  /// least one slot). `charge_bytes` is the CacheStats fill-traffic charge
+  /// per miss/insert — the logical size of one cached object.
+  ShardedLru(std::uint64_t capacity_entries, int num_shards, std::uint64_t charge_bytes)
+      : charge_bytes_(charge_bytes) {
+    if (num_shards < 1) throw std::invalid_argument("ShardedLru: need >= 1 shard");
+    entries_per_shard_ = std::max<std::uint64_t>(
+        1, capacity_entries / static_cast<std::uint64_t>(num_shards));
+    shards_.reserve(static_cast<std::size_t>(num_shards));
+    for (int i = 0; i < num_shards; ++i) {
+      auto shard = std::make_unique<Shard>();
+      shard->slots.resize(entries_per_shard_);
+      shard->free_list.reserve(entries_per_shard_);
+      for (std::uint64_t e = 0; e < entries_per_shard_; ++e)
+        shard->free_list.push_back(static_cast<int>(entries_per_shard_ - 1 - e));
+      shards_.push_back(std::move(shard));
+    }
+  }
+
+  /// On hit: use(const V&) under the shard lock, entry becomes MRU. On miss:
+  /// the LRU slot is reclaimed, fill(V&) produces the value in place, then
+  /// use(const V&). Returns true on hit. Concurrent requests for the same
+  /// key fill once (the fill runs under the shard lock).
+  template <typename Fill, typename Use>
+  bool get_or_fill(int space, const K& key, Fill&& fill, Use&& use) {
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    CacheStats& stats = stats_mut(s, space);
+    ++stats.accesses;
+    if (const int idx = find_and_touch(s, space, key); idx >= 0) {
+      use(static_cast<const V&>(s.slots[static_cast<std::size_t>(idx)].value));
+      return true;
+    }
+    ++stats.misses;
+    stats.bytes_read += charge_bytes_;  // miss fill traffic, as in cachesim
+    const int idx = fill_slot(s, space, key, fill);
+    use(static_cast<const V&>(s.slots[static_cast<std::size_t>(idx)].value));
+    return false;
+  }
+
+  /// Split miss path for callers whose fill is a communication round-trip
+  /// that must not run under the shard lock: lookup() counts the access and,
+  /// on miss, the miss; the caller then fetches and insert()s, which charges
+  /// the fill bytes. A lookup-miss + insert pair charges the same counters
+  /// as one get_or_fill miss.
+  template <typename Use>
+  bool lookup(int space, const K& key, Use&& use) {
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    CacheStats& stats = stats_mut(s, space);
+    ++stats.accesses;
+    const int idx = find_and_touch(s, space, key);
+    if (idx < 0) {
+      ++stats.misses;
+      return false;
+    }
+    use(static_cast<const V&>(s.slots[static_cast<std::size_t>(idx)].value));
+    return true;
+  }
+
+  /// Retains fill()'s value for `key`; a no-op (beyond the byte charge) when
+  /// the key is already resident (raced fill).
+  template <typename Fill>
+  void insert(int space, const K& key, Fill&& fill) {
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    stats_mut(s, space).bytes_read += charge_bytes_;
+    if (index_for(s, space).count(key) > 0) return;  // raced fill: already resident
+    fill_slot(s, space, key, fill);
+  }
+
+  /// Drops every entry (hot-swap invalidation) without resetting statistics.
+  void invalidate() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      while (shard->head >= 0) evict_slot(*shard, shard->head);
+    }
+  }
+
+  std::uint64_t capacity_entries() const { return entries_per_shard_ * shards_.size(); }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Statistics aggregated over shards, per space / combined.
+  CacheStats stats(int space) const {
+    CacheStats out;
+    if (space < 0) return out;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      if (static_cast<std::size_t>(space) < shard->per_space.size())
+        out += shard->per_space[static_cast<std::size_t>(space)];
+    }
+    return out;
+  }
+
+  CacheStats combined_stats() const {
+    CacheStats out;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      for (const CacheStats& s : shard->per_space) out += s;
+    }
+    return out;
+  }
+
+ private:
+  struct Slot {
+    K key{};
+    int space = 0;
+    int prev = -1;
+    int next = -1;
+    V value{};
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<Slot> slots;
+    std::vector<int> free_list;
+    int head = -1;
+    int tail = -1;
+    // One index per object space (spaces are small ordinals by convention).
+    std::vector<std::unordered_map<K, int, Hash>> index;
+    std::vector<CacheStats> per_space;
+  };
+
+  Shard& shard_for(const K& key) {
+    return *shards_[static_cast<std::size_t>(Hash{}(key) % shards_.size())];
+  }
+
+  static CacheStats& stats_mut(Shard& s, int space) {
+    if (space < 0) throw std::out_of_range("ShardedLru: negative space id");
+    if (static_cast<std::size_t>(space) >= s.per_space.size()) s.per_space.resize(space + 1);
+    return s.per_space[static_cast<std::size_t>(space)];
+  }
+
+  static std::unordered_map<K, int, Hash>& index_for(Shard& s, int space) {
+    if (space < 0) throw std::out_of_range("ShardedLru: negative space id");
+    if (static_cast<std::size_t>(space) >= s.index.size()) s.index.resize(space + 1);
+    return s.index[static_cast<std::size_t>(space)];
+  }
+
+  static void unlink(Shard& s, int idx) {
+    Slot& e = s.slots[static_cast<std::size_t>(idx)];
+    if (e.prev >= 0) s.slots[static_cast<std::size_t>(e.prev)].next = e.next;
+    else s.head = e.next;
+    if (e.next >= 0) s.slots[static_cast<std::size_t>(e.next)].prev = e.prev;
+    else s.tail = e.prev;
+    e.prev = e.next = -1;
+  }
+
+  static void push_front(Shard& s, int idx) {
+    Slot& e = s.slots[static_cast<std::size_t>(idx)];
+    e.prev = -1;
+    e.next = s.head;
+    if (s.head >= 0) s.slots[static_cast<std::size_t>(s.head)].prev = idx;
+    s.head = idx;
+    if (s.tail < 0) s.tail = idx;
+  }
+
+  static void evict_slot(Shard& s, int idx) {
+    Slot& e = s.slots[static_cast<std::size_t>(idx)];
+    index_for(s, e.space).erase(e.key);
+    unlink(s, idx);
+    s.free_list.push_back(idx);
+  }
+
+  /// Finds `key` and makes it MRU; -1 on miss.
+  static int find_and_touch(Shard& s, int space, const K& key) {
+    auto& index = index_for(s, space);
+    const auto it = index.find(key);
+    if (it == index.end()) return -1;
+    const int idx = it->second;
+    unlink(s, idx);
+    push_front(s, idx);
+    return idx;
+  }
+
+  /// Reclaims a slot (evicting the LRU entry when full), runs `fill` into
+  /// it, then binds it to (space, key) as MRU. The index is published only
+  /// after the fill succeeds: a throwing fill returns the slot to the free
+  /// list, so no key can ever resolve to a recycled victim's stale bytes.
+  template <typename Fill>
+  static int fill_slot(Shard& s, int space, const K& key, const Fill& fill) {
+    if (s.free_list.empty()) evict_slot(s, s.tail);
+    const int idx = s.free_list.back();
+    s.free_list.pop_back();
+    Slot& slot = s.slots[static_cast<std::size_t>(idx)];
+    try {
+      fill(slot.value);
+    } catch (...) {
+      s.free_list.push_back(idx);
+      throw;
+    }
+    slot.key = key;
+    slot.space = space;
+    index_for(s, space).emplace(key, idx);
+    push_front(s, idx);
+    return idx;
+  }
+
+  std::uint64_t charge_bytes_;
+  std::uint64_t entries_per_shard_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace distgnn::serve

@@ -1,46 +1,21 @@
 #include "serve/sharded_server.hpp"
 
 #include <algorithm>
-#include <cstring>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 
 #include "partition/partition_setup.hpp"
 #include "serve/inference_server.hpp"
+#include "serve/prefetch.hpp"
 
 namespace distgnn::serve {
 
 namespace {
 
-// Point-to-point protocol tags (World payloads are float vectors, so vertex
-// ids travel as two bit-cast 32-bit halves per id).
-constexpr int kTagFeatReq = 9101;
-constexpr int kTagFeatResp = 9102;
+// Round-barrier tag; the feature request/response tags (9101/9102) live in
+// serve/prefetch.cpp with the halo protocol itself.
 constexpr int kTagRoundDone = 9103;
-
-std::vector<real_t> encode_ids(std::span<const vid_t> ids) {
-  std::vector<real_t> out(2 * ids.size());
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    const std::uint64_t u = static_cast<std::uint64_t>(ids[i]);
-    const std::uint32_t lo = static_cast<std::uint32_t>(u);
-    const std::uint32_t hi = static_cast<std::uint32_t>(u >> 32);
-    std::memcpy(&out[2 * i], &lo, sizeof(lo));
-    std::memcpy(&out[2 * i + 1], &hi, sizeof(hi));
-  }
-  return out;
-}
-
-std::vector<vid_t> decode_ids(const std::vector<real_t>& payload) {
-  std::vector<vid_t> ids(payload.size() / 2);
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    std::uint32_t lo = 0, hi = 0;
-    std::memcpy(&lo, &payload[2 * i], sizeof(lo));
-    std::memcpy(&hi, &payload[2 * i + 1], sizeof(hi));
-    ids[i] = static_cast<vid_t>((static_cast<std::uint64_t>(hi) << 32) | lo);
-  }
-  return ids;
-}
 
 }  // namespace
 
@@ -48,6 +23,16 @@ std::uint64_t ShardedServeReport::total_halo_rows() const {
   std::uint64_t total = 0;
   for (const ShardedRankStats& s : per_rank) total += s.halo_rows_fetched;
   return total;
+}
+
+double ShardedServeReport::mean_halo_wait_per_batch() const {
+  double wait = 0;
+  std::uint64_t batches = 0;
+  for (const ShardedRankStats& s : per_rank) {
+    wait += s.halo_wait_seconds;
+    batches += s.batches;
+  }
+  return batches == 0 ? 0.0 : wait / static_cast<double>(batches);
 }
 
 std::vector<part_t> vertex_owners(const EdgeList& edges, const EdgePartition& partition,
@@ -117,31 +102,14 @@ ShardedServeReport serve_sharded(World& world, const Dataset& dataset,
   world.run([&](Communicator& comm) {
     const part_t me = static_cast<part_t>(comm.rank());
     const CsrMatrix& in_csr = dataset.graph.in_csr();
-    const DenseMatrix& my_feats = local_feats[static_cast<std::size_t>(me)];
-    const auto& my_index = local_index[static_cast<std::size_t>(me)];
     const std::vector<std::size_t>& my_requests = routed[static_cast<std::size_t>(me)];
     ShardedRankStats& stats = report.per_rank[static_cast<std::size_t>(me)];
 
     ShardedFeatureCache cache(config.cache_bytes, f, config.cache_shards);
+    HaloFetcher fetcher(comm, report.owner, local_feats[static_cast<std::size_t>(me)],
+                        local_index[static_cast<std::size_t>(me)], cache);
     ForwardScratch scratch;
-    std::vector<MiniBatch> minibatches;
-    DenseMatrix inputs, logits;
-
-    // Answer any queued halo requests from peers (never blocks).
-    const auto service_peers = [&] {
-      for (part_t p = 0; p < num_parts; ++p) {
-        if (p == me) continue;
-        while (auto msg = comm.try_recv(p, kTagFeatReq)) {
-          const std::vector<vid_t> ids = decode_ids(*msg);
-          std::vector<real_t> payload(ids.size() * f);
-          for (std::size_t i = 0; i < ids.size(); ++i) {
-            const real_t* src = my_feats.row(my_index.at(ids[i]));
-            std::copy(src, src + f, payload.data() + i * f);
-          }
-          comm.send(p, kTagFeatResp, std::move(payload));
-        }
-      }
-    };
+    DenseMatrix logits;
 
     const std::size_t batch_size = static_cast<std::size_t>(config.max_batch);
     const std::size_t my_batches = (my_requests.size() + batch_size - 1) / batch_size;
@@ -149,92 +117,40 @@ ShardedServeReport serve_sharded(World& world, const Dataset& dataset,
     const std::size_t rounds = static_cast<std::size_t>(
         *std::max_element(all_counts.begin(), all_counts.end()));
 
-    // Per owner: unique missing vertex ids, and for each the input rows it
-    // must land in (batches routinely re-sample shared hub vertices, so the
-    // wire carries each row once).
-    std::vector<std::vector<vid_t>> need(static_cast<std::size_t>(num_parts));
-    std::vector<std::vector<std::vector<std::size_t>>> need_rows(
-        static_cast<std::size_t>(num_parts));
-    std::unordered_map<vid_t, std::size_t> pending;  // vid -> index in need[owner]
+    // Double buffer: with prefetch on, batch round+1's halo requests go out
+    // before round's forward runs, so peer replies overlap compute. The sync
+    // path uses buffer 0 only, begin/finish back to back.
+    HaloBatch buffers[2];
+    const auto sample_and_begin = [&](std::size_t round_index, HaloBatch& batch) {
+      const std::size_t begin = round_index * batch_size;
+      const std::size_t end = std::min(my_requests.size(), begin + batch_size);
+      batch.minibatches.clear();
+      for (std::size_t i = begin; i < end; ++i) {
+        const vid_t v = requests[my_requests[i]];
+        Rng rng = request_rng(config.sample_seed, v);
+        const vid_t seed[1] = {v};
+        batch.minibatches.push_back(sample_minibatch(in_csr, seed, config.fanouts, rng));
+      }
+      fetcher.begin_fetch(batch);
+    };
+
+    if (config.prefetch && my_batches > 0) sample_and_begin(0, buffers[0]);
 
     for (std::size_t round = 0; round < rounds; ++round) {
       if (round < my_batches) {
+        HaloBatch& batch = buffers[config.prefetch ? round % 2 : 0];
+        if (config.prefetch) {
+          // Issue the next batch's requests first: they ride the wire (and
+          // the peers' service loops) while this batch's forward runs below.
+          if (round + 1 < my_batches) sample_and_begin(round + 1, buffers[(round + 1) % 2]);
+        } else {
+          sample_and_begin(round, batch);
+        }
+        fetcher.finish_fetch(batch);
+
+        snapshot->forward_batch(batch.minibatches, batch.inputs.cview(), scratch, logits);
         const std::size_t begin = round * batch_size;
         const std::size_t end = std::min(my_requests.size(), begin + batch_size);
-
-        minibatches.clear();
-        std::size_t input_rows = 0;
-        for (std::size_t i = begin; i < end; ++i) {
-          const vid_t v = requests[my_requests[i]];
-          Rng rng = request_rng(config.sample_seed, v);
-          const vid_t seed[1] = {v};
-          minibatches.push_back(sample_minibatch(in_csr, seed, config.fanouts, rng));
-          input_rows += minibatches.back().input_vertices.size();
-        }
-
-        // Gather: owned rows through the local cache space, remote rows
-        // through the halo space with a grouped point-to-point fetch per
-        // owner for everything the cache does not already hold.
-        inputs.resize_discard(input_rows, f);
-        for (auto& n : need) n.clear();
-        for (auto& n : need_rows) n.clear();
-        pending.clear();
-        std::size_t row = 0;
-        for (const MiniBatch& mb : minibatches) {
-          for (const vid_t v : mb.input_vertices) {
-            const part_t owner = report.owner[static_cast<std::size_t>(v)];
-            if (owner == me) {
-              cache.get_or_fill(/*space=*/0, static_cast<std::uint64_t>(v), inputs.row(row),
-                                [&](real_t* dst) {
-                                  const real_t* src = my_feats.row(my_index.at(v));
-                                  std::copy(src, src + f, dst);
-                                });
-            } else if (!cache.lookup(/*space=*/1, static_cast<std::uint64_t>(v),
-                                     inputs.row(row))) {
-              auto& owner_need = need[static_cast<std::size_t>(owner)];
-              auto& owner_rows = need_rows[static_cast<std::size_t>(owner)];
-              const auto [it, inserted] = pending.emplace(v, owner_need.size());
-              if (inserted) {
-                owner_need.push_back(v);
-                owner_rows.push_back({row});
-              } else {
-                owner_rows[it->second].push_back(row);
-              }
-            }
-            ++row;
-          }
-        }
-
-        int outstanding = 0;
-        for (part_t p = 0; p < num_parts; ++p) {
-          auto& ids = need[static_cast<std::size_t>(p)];
-          if (ids.empty()) continue;
-          comm.send(p, kTagFeatReq, encode_ids(ids));
-          ++outstanding;
-        }
-        while (outstanding > 0) {
-          service_peers();
-          for (part_t p = 0; p < num_parts; ++p) {
-            auto& ids = need[static_cast<std::size_t>(p)];
-            if (ids.empty()) continue;
-            auto resp = comm.try_recv(p, kTagFeatResp);
-            if (!resp) continue;
-            const auto& rows_for = need_rows[static_cast<std::size_t>(p)];
-            for (std::size_t i = 0; i < ids.size(); ++i) {
-              const real_t* src = resp->data() + i * f;
-              for (const std::size_t dst_row : rows_for[i])
-                std::copy(src, src + f, inputs.row(dst_row));
-              cache.insert(/*space=*/1, static_cast<std::uint64_t>(ids[i]), src);
-            }
-            stats.halo_rows_fetched += ids.size();
-            stats.halo_bytes += ids.size() * f * sizeof(real_t);
-            ids.clear();
-            --outstanding;
-          }
-          std::this_thread::yield();
-        }
-
-        snapshot->forward_batch(minibatches, inputs.cview(), scratch, logits);
         for (std::size_t r = 0; r < end - begin; ++r) {
           const std::size_t global = my_requests[begin + r];
           InferResult& result = report.results[global];
@@ -255,7 +171,7 @@ ShardedServeReport serve_sharded(World& world, const Dataset& dataset,
       std::vector<std::uint8_t> seen(static_cast<std::size_t>(num_parts), 0);
       int tokens = 0;
       while (tokens < num_parts - 1) {
-        service_peers();
+        fetcher.service_peers();
         for (part_t p = 0; p < num_parts; ++p) {
           if (p == me || seen[static_cast<std::size_t>(p)]) continue;
           if (comm.try_recv(p, kTagRoundDone)) {
@@ -267,6 +183,10 @@ ShardedServeReport serve_sharded(World& world, const Dataset& dataset,
       }
     }
 
+    const HaloFetchStats& fetched = fetcher.stats();
+    stats.halo_rows_fetched = fetched.halo_rows_fetched;
+    stats.halo_bytes = fetched.halo_bytes;
+    stats.halo_wait_seconds = fetched.wait_seconds;
     stats.local_cache = cache.stats(/*space=*/0);
     stats.halo_cache = cache.stats(/*space=*/1);
   });

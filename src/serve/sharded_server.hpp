@@ -35,6 +35,11 @@ struct ShardedServeConfig {
   std::uint64_t cache_bytes = 8ull << 20;
   int cache_shards = 4;
   std::uint64_t sample_seed = 1;
+  /// Async halo prefetch: issue batch N+1's halo feature requests before
+  /// running batch N's forward (double-buffered HaloFetcher), so the peer's
+  /// reply overlaps compute instead of stalling the next batch. Answers are
+  /// bitwise-identical either way; only halo_wait_seconds moves.
+  bool prefetch = false;
 };
 
 struct ShardedRankStats {
@@ -42,6 +47,10 @@ struct ShardedRankStats {
   std::uint64_t batches = 0;
   std::uint64_t halo_rows_fetched = 0;  // rows that crossed a rank boundary
   std::uint64_t halo_bytes = 0;
+  /// Time this rank spent blocked waiting for halo responses (the quantity
+  /// prefetch overlaps away; compare per batch against a prefetch=false run
+  /// via ShardedServeReport::mean_halo_wait_per_batch).
+  double halo_wait_seconds = 0;
   CacheStats local_cache;  // space 0: owned rows
   CacheStats halo_cache;   // space 1: remote rows
 };
@@ -52,6 +61,9 @@ struct ShardedServeReport {
   std::vector<ShardedRankStats> per_rank;
 
   std::uint64_t total_halo_rows() const;
+  /// Mean halo wait per batch over the ranks that ran batches — the bench's
+  /// fetch/compute-overlap headline (prefetch strictly below synchronous).
+  double mean_halo_wait_per_batch() const;
 };
 
 /// Vertex -> owning rank from a vertex-cut partition: the rank whose clone

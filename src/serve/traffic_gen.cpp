@@ -148,10 +148,73 @@ std::string render_load_reports(std::span<const LoadReport> reports, const std::
   return table.render(title);
 }
 
-TrafficGenerator::TrafficGenerator(InferenceServer& server, std::uint64_t seed)
-    : server_(server), rng_(seed) {}
+ZipfSampler::ZipfSampler(std::uint64_t n, double s, Rng& rng) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  if (s <= 0) throw std::invalid_argument("ZipfSampler: s must be > 0");
+  cdf_.reserve(static_cast<std::size_t>(n));
+  double total = 0;
+  for (std::uint64_t r = 1; r <= n; ++r) {
+    total += std::pow(static_cast<double>(r), -s);
+    cdf_.push_back(total);
+  }
+  values_.resize(static_cast<std::size_t>(n));
+  for (std::uint64_t v = 0; v < n; ++v) values_[static_cast<std::size_t>(v)] = v;
+  for (std::size_t i = values_.size(); i > 1; --i)
+    std::swap(values_[i - 1], values_[rng.next_below(i)]);
+}
+
+std::uint64_t ZipfSampler::draw(Rng& rng) const {
+  const double u = rng.next_double() * cdf_.back();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const auto rank = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+  return values_[rank];
+}
+
+EmbedWorkloadReport run_embed_cache_workload(const Dataset& dataset,
+                                             std::shared_ptr<const ModelSnapshot> snapshot,
+                                             const ServeConfig& base, std::uint64_t cache_bytes,
+                                             double zipf_s, std::uint64_t seed, int clients,
+                                             int requests_per_client) {
+  ServeConfig cfg = base;
+  cfg.embed_forward = true;
+  cfg.embed_cache_bytes = cache_bytes;
+  cfg.max_batch_delay = std::chrono::microseconds(0);  // greedy batching (see header)
+  InferenceServer server(dataset, cfg);
+  server.publish(std::move(snapshot));
+  server.start();
+
+  {
+    TrafficGenerator warmup(server, seed, zipf_s);
+    (void)warmup.run_closed_loop(clients, requests_per_client);
+  }
+  const CacheStats warmed = server.stats().embed_cache;
+
+  EmbedWorkloadReport report;
+  TrafficGenerator traffic(server, seed + 1, zipf_s);
+  report.load = traffic.run_closed_loop(clients, requests_per_client);
+  const CacheStats total = server.stats().embed_cache;
+  CacheStats measured;
+  measured.accesses = total.accesses - warmed.accesses;
+  measured.misses = total.misses - warmed.misses;
+  report.hit_rate = measured.hit_rate();
+  server.stop();
+  return report;
+}
+
+TrafficGenerator::TrafficGenerator(InferenceServer& server, std::uint64_t seed, double zipf_s,
+                                   std::uint64_t zipf_perm_seed)
+    : server_(server), rng_(seed) {
+  if (zipf_s < 0) throw std::invalid_argument("TrafficGenerator: zipf_s must be >= 0");
+  if (zipf_s > 0) {
+    Rng perm_rng(zipf_perm_seed);
+    zipf_.emplace(static_cast<std::uint64_t>(server_.dataset().num_vertices()), zipf_s, perm_rng);
+  }
+}
 
 vid_t TrafficGenerator::random_vertex() {
+  if (zipf_) return static_cast<vid_t>(zipf_->draw(rng_));
   return static_cast<vid_t>(
       rng_.next_below(static_cast<std::uint64_t>(server_.dataset().num_vertices())));
 }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -38,6 +39,24 @@ class LatencyRecorder {
  private:
   mutable std::mutex mutex_;
   std::vector<double> samples_;
+};
+
+/// Zipf(s) popularity over [0, n): rank-r probability ∝ 1/r^s, with ranks
+/// mapped to values through a permutation drawn from the construction rng so
+/// popularity is uncorrelated with vertex id (and hence graph structure).
+/// s = 1.0 is the classic web/query-log skew; larger s is hotter.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s, Rng& rng);
+  std::uint64_t draw(Rng& rng) const;
+  std::uint64_t size() const { return values_.size(); }
+  /// Probability mass of the hottest value (rank 1) — handy for tests and
+  /// for sizing caches against a workload.
+  double top_probability() const { return cdf_.front() / cdf_.back(); }
+
+ private:
+  std::vector<double> cdf_;               // cumulative 1/r^s over ranks
+  std::vector<std::uint64_t> values_;     // rank -> value
 };
 
 enum class ArrivalProcess { kPoisson, kMmpp };
@@ -86,11 +105,39 @@ void fill_latency_fields(LoadReport& report, const LatencyRecorder& latencies);
 /// One row per report, rendered through util/table.
 std::string render_load_reports(std::span<const LoadReport> reports, const std::string& title);
 
+/// One measured pass of the embedding-cache workload (shared by serve_demo's
+/// "embed cache summary" stage and bench_embed_cache, so the demo line and
+/// the CI-asserted bench numbers cannot diverge protocol-wise): serve
+/// `snapshot` through the embed-forward server with `cache_bytes` of
+/// EmbedCache (0 = the uncached A/B baseline) and greedy batching (a hit
+/// costs ~a row copy, so any batch-formation delay would drown the effect),
+/// warm with one closed-loop Zipf pass, then measure a second pass drawn
+/// from a fresh stream (seed + 1) over the same hot set. hit_rate covers the
+/// measured pass only.
+struct EmbedWorkloadReport {
+  LoadReport load;
+  double hit_rate = 0;
+};
+EmbedWorkloadReport run_embed_cache_workload(const Dataset& dataset,
+                                             std::shared_ptr<const ModelSnapshot> snapshot,
+                                             const ServeConfig& base, std::uint64_t cache_bytes,
+                                             double zipf_s, std::uint64_t seed, int clients,
+                                             int requests_per_client);
+
 class TrafficGenerator {
  public:
-  /// Queries target uniformly random vertices of the server's dataset,
-  /// deterministically from `seed`.
-  TrafficGenerator(InferenceServer& server, std::uint64_t seed);
+  /// Queries target random vertices of the server's dataset,
+  /// deterministically from `seed`. `zipf_s` sets the popularity skew:
+  /// 0 (default) is uniform; s > 0 draws vertices Zipf(s)-distributed —
+  /// rank-r popularity ∝ 1/r^s over a shuffled vertex order — the
+  /// repeat-query workload that exercises the serving embedding cache
+  /// (real query traffic is heavy-tailed, like the MMPP arrival side).
+  /// The rank -> vertex shuffle is seeded by `zipf_perm_seed`, separate from
+  /// the draw stream: generators with different `seed`s but the same
+  /// permutation seed issue *different request sequences over the same hot
+  /// set*, which is what makes warm-cache measurements honest.
+  TrafficGenerator(InferenceServer& server, std::uint64_t seed, double zipf_s = 0.0,
+                   std::uint64_t zipf_perm_seed = 71);
 
   /// `num_clients` threads each issue `requests_each` blocking queries.
   LoadReport run_closed_loop(int num_clients, int requests_each);
@@ -108,6 +155,7 @@ class TrafficGenerator {
 
   InferenceServer& server_;
   Rng rng_;
+  std::optional<ZipfSampler> zipf_;  // nullopt = uniform popularity
 };
 
 }  // namespace distgnn::serve

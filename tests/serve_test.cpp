@@ -253,6 +253,47 @@ TEST(ShardedFeatureCache, LookupInsertSplitPathMatchesGetOrFill) {
   EXPECT_EQ(cache.combined_stats().accesses, 2u);
 }
 
+TEST(ShardedFeatureCache, InvalidateDropsEntriesButKeepsStatistics) {
+  ShardedFeatureCache cache(64 * 4 * sizeof(real_t), 4, 2);
+  std::vector<real_t> out(4);
+  const auto fill_const = [](real_t v) {
+    return [v](real_t* dst) {
+      for (int j = 0; j < 4; ++j) dst[j] = v;
+    };
+  };
+  for (std::uint64_t k = 0; k < 8; ++k) cache.get_or_fill(0, k, out.data(), fill_const(1));
+  for (std::uint64_t k = 0; k < 8; ++k) EXPECT_TRUE(cache.get_or_fill(0, k, out.data(), fill_const(9)));
+  const CacheStats before = cache.stats(0);
+  EXPECT_EQ(before.accesses, 16u);
+  EXPECT_EQ(before.misses, 8u);
+
+  cache.invalidate();
+
+  // Statistics survive the flush; every previously-hot key misses again.
+  EXPECT_EQ(cache.stats(0).accesses, before.accesses);
+  EXPECT_EQ(cache.stats(0).misses, before.misses);
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    EXPECT_FALSE(cache.lookup(0, k, out.data())) << "key " << k;
+  }
+  // And the cache keeps working after the flush (slots were recycled).
+  EXPECT_FALSE(cache.get_or_fill(0, 3, out.data(), fill_const(7)));
+  EXPECT_TRUE(cache.get_or_fill(0, 3, out.data(), fill_const(9)));
+  EXPECT_EQ(out[0], 7.0f);
+}
+
+TEST(ShardedFeatureCache, InvalidateClearsEverySpace) {
+  ShardedFeatureCache cache(64 * 4 * sizeof(real_t), 4, 1);
+  const real_t row[4] = {1, 2, 3, 4};
+  cache.insert(0, 5, row);
+  cache.insert(1, 5, row);
+  std::vector<real_t> out(4);
+  ASSERT_TRUE(cache.lookup(0, 5, out.data()));
+  ASSERT_TRUE(cache.lookup(1, 5, out.data()));
+  cache.invalidate();
+  EXPECT_FALSE(cache.lookup(0, 5, out.data()));
+  EXPECT_FALSE(cache.lookup(1, 5, out.data()));
+}
+
 TEST(ShardedFeatureCache, EvictsLruWithinShard) {
   ShardedFeatureCache cache(/*capacity_bytes=*/2 * 4 * sizeof(real_t), /*dim=*/4,
                             /*num_shards=*/1);
@@ -488,6 +529,39 @@ TEST(ShardedServing, TwoRanksMatchSingleProcessBitwise) {
   EXPECT_GT(report.per_rank[0].served, 0u);
   EXPECT_GT(report.per_rank[1].served, 0u);
   EXPECT_GT(report.total_halo_rows(), 0u);
+}
+
+TEST(ShardedServing, PrefetchMatchesSynchronousBitwiseAndWaits) {
+  const Dataset dataset = make_serving_dataset();
+  const auto snapshot = ModelSnapshot::random(sage_spec(dataset), /*seed=*/77, /*version=*/3);
+
+  std::vector<vid_t> requests;
+  Rng rng(29);
+  for (int i = 0; i < 48; ++i)
+    requests.push_back(static_cast<vid_t>(rng.next_below(
+        static_cast<std::uint64_t>(dataset.num_vertices()))));
+
+  const EdgePartition partition = partition_libra(dataset.graph.coo(), /*num_parts=*/2);
+  ShardedServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.fanouts = {5, 5};
+
+  World world(2);
+  const ShardedServeReport sync = serve_sharded(world, dataset, partition, snapshot, requests, cfg);
+  cfg.prefetch = true;
+  const ShardedServeReport pre = serve_sharded(world, dataset, partition, snapshot, requests, cfg);
+
+  ASSERT_EQ(pre.results.size(), sync.results.size());
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    EXPECT_EQ(pre.results[i].logits, sync.results[i].logits) << "request " << i;
+
+  // Both modes crossed rank boundaries and both report the wait metric the
+  // overlap bench compares (wall-clock inequality itself is asserted in
+  // bench_embed_cache, not here — unit tests stay timing-agnostic).
+  EXPECT_GT(sync.total_halo_rows(), 0u);
+  EXPECT_GT(pre.total_halo_rows(), 0u);
+  EXPECT_GT(sync.mean_halo_wait_per_batch(), 0.0);
+  EXPECT_GE(pre.mean_halo_wait_per_batch(), 0.0);
 }
 
 TEST(ShardedServing, OwnerMapCoversEveryVertexExactlyOnce) {
