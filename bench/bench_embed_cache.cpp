@@ -91,12 +91,9 @@ void run_embed_cache(benchmark::State& state, bool cache_on) {
                                     clients, per_client);
 
   state.SetLabel(cache_on ? "embed-cache" : "no-cache");
-  state.counters["QPS"] = last.load.qps;
-  state.counters["p50_ms"] = last.load.p50_ms;
-  state.counters["p99_ms"] = last.load.p99_ms;
+  bench::attach_load_counters(state, last.load);
   state.counters["hit_rate"] = last.hit_rate;
   state.counters["zipf_s"] = g_zipf_s;
-  bench::attach_histogram_counters(state, last.load);
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(last.load.completed));
 }
 
@@ -106,10 +103,11 @@ BENCHMARK(BM_EmbedCache_On)->Unit(benchmark::kMillisecond)->UseRealTime();
 void BM_EmbedCache_Off(benchmark::State& state) { run_embed_cache(state, false); }
 BENCHMARK(BM_EmbedCache_Off)->Unit(benchmark::kMillisecond)->UseRealTime();
 
-/// 2-rank sharded serving over a libra vertex-cut; `prefetch` toggles the
-/// double-buffered halo fetch. halo_wait_us_per_batch is the stall the
-/// overlap removes; answers are bitwise-identical either way.
-void run_sharded_halo(benchmark::State& state, bool prefetch) {
+/// 2-rank sharded serving over a libra vertex-cut; `prefetch_depth` sets the
+/// halo-fetch ring (1 = synchronous, 2 = the classic double buffer).
+/// halo_wait_us_per_batch is the stall the overlap removes; answers are
+/// bitwise-identical at every depth.
+void run_sharded_halo(benchmark::State& state, int prefetch_depth) {
   EmbedFixture& f = EmbedFixture::get();
   const EdgePartition partition = partition_libra(f.dataset.graph.coo(), /*num_parts=*/2);
 
@@ -123,23 +121,23 @@ void run_sharded_halo(benchmark::State& state, bool prefetch) {
   ShardedServeConfig cfg;
   cfg.max_batch = 8;
   cfg.fanouts = {10, 10};
-  cfg.prefetch = prefetch;
+  cfg.prefetch_depth = prefetch_depth;
 
   World world(2);
   ShardedServeReport last;
   for (auto _ : state) last = serve_sharded(world, f.dataset, partition, f.snapshot, requests, cfg);
 
-  state.SetLabel(prefetch ? "prefetch" : "sync");
+  state.SetLabel("depth" + std::to_string(prefetch_depth));
   state.counters["halo_wait_us_per_batch"] = last.mean_halo_wait_per_batch() * 1e6;
   state.counters["halo_rows"] = static_cast<double>(last.total_halo_rows());
   state.counters["served"] = static_cast<double>(requests.size());
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(requests.size()));
 }
 
-void BM_ShardedHalo_Sync(benchmark::State& state) { run_sharded_halo(state, false); }
+void BM_ShardedHalo_Sync(benchmark::State& state) { run_sharded_halo(state, /*depth=*/1); }
 BENCHMARK(BM_ShardedHalo_Sync)->Unit(benchmark::kMillisecond)->UseRealTime();
 
-void BM_ShardedHalo_Prefetch(benchmark::State& state) { run_sharded_halo(state, true); }
+void BM_ShardedHalo_Prefetch(benchmark::State& state) { run_sharded_halo(state, /*depth=*/2); }
 BENCHMARK(BM_ShardedHalo_Prefetch)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace

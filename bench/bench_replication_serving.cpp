@@ -80,19 +80,6 @@ ArrivalConfig mmpp_arrivals() {
   return arrivals;
 }
 
-void attach_report(benchmark::State& state, const LoadReport& report, const RouterStats& stats) {
-  state.counters["QPS"] = report.qps;
-  state.counters["p50_ms"] = report.p50_ms;
-  state.counters["p99_ms"] = report.p99_ms;
-  state.counters["p99_9_ms"] = report.p999_ms;
-  state.counters["shed_rate"] = stats.shed_rate();
-  state.counters["shed_deadline"] = static_cast<double>(stats.shed_deadline);
-  state.counters["shed_priority"] = static_cast<double>(stats.shed_priority);
-  state.counters["shed_queue_full"] = static_cast<double>(stats.shed_queue_full);
-  state.counters["admitted"] = static_cast<double>(stats.admitted);
-  bench::attach_histogram_counters(state, report);
-}
-
 /// One measured run: group of `replicas`, `policy` routing, MMPP arrivals
 /// with per-request deadlines; `shed` toggles deadline shedding (the shed=0
 /// rows are the equal-offered-load baseline the shedding rows beat on p99).
@@ -127,7 +114,8 @@ void run_replicated(benchmark::State& state, int replicas, RoutePolicy policy, b
     group.stop();
   }
   state.SetLabel(route_policy_name(policy) + (shed ? "/shed" : "/no-shed"));
-  attach_report(state, last, last_stats);
+  bench::attach_load_counters(state, last);
+  bench::attach_admission_counters(state, last_stats);
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(g_requests));
 }
 

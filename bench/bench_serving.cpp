@@ -60,17 +60,6 @@ struct ServingFixture {
   }
 };
 
-void attach_report(benchmark::State& state, const LoadReport& report) {
-  state.counters["QPS"] = report.qps;
-  state.counters["p50_ms"] = report.p50_ms;
-  state.counters["p95_ms"] = report.p95_ms;
-  state.counters["p99_ms"] = report.p99_ms;
-  state.counters["p99_9_ms"] = report.p999_ms;
-  state.counters["mean_batch"] = report.mean_batch;
-  state.counters["rejected"] = static_cast<double>(report.rejected);
-  bench::attach_histogram_counters(state, report);
-}
-
 /// Raw model-side throughput of the stacked micro-batch forward, swept over
 /// batch size: the GEMM-amortization curve that motivates batching at all.
 void BM_MicroBatchForward(benchmark::State& state) {
@@ -118,7 +107,7 @@ void BM_ClosedLoop(benchmark::State& state) {
     last = traffic.run_closed_loop(clients, /*requests_each=*/200 / clients);
     server.stop();
   }
-  attach_report(state, last);
+  bench::attach_load_counters(state, last);
   state.SetItemsProcessed(state.iterations() * 200);
 }
 BENCHMARK(BM_ClosedLoop)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
@@ -141,7 +130,7 @@ void run_open_loop(benchmark::State& state, ArrivalProcess process) {
     last = traffic.run_open_loop(arrivals, /*num_requests=*/400);
     server.stop();
   }
-  attach_report(state, last);
+  bench::attach_load_counters(state, last);
   state.SetItemsProcessed(state.iterations() * 400);
 }
 

@@ -1,7 +1,8 @@
 // Shared helpers for the serving benchmarks (bench_serving,
-// bench_replication_serving): latency-histogram counters with one canonical
-// key format, and the strict-flag main() body — so the two binaries' JSON
-// artifact schemas cannot silently diverge.
+// bench_replication_serving, bench_embed_cache, bench_composed_serving):
+// load-report and admission counters with one canonical key format, the
+// latency-histogram emission, and the strict-flag main() body — so the
+// binaries' JSON artifact schemas cannot silently diverge.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -12,6 +13,7 @@
 #include <initializer_list>
 #include <string>
 
+#include "serve/router.hpp"
 #include "serve/traffic_gen.hpp"
 #include "util/options.hpp"
 
@@ -23,6 +25,29 @@ inline void attach_histogram_counters(benchmark::State& state, const serve::Load
   for (const serve::LatencyRecorder::Bucket& b : report.histogram)
     state.counters["hist_le_" + std::to_string(std::llround(b.upper_seconds * 1e6)) + "us"] =
         static_cast<double>(b.count);
+}
+
+/// Canonical LoadReport counter set (QPS, quantiles through p99.9, batch
+/// occupancy, rejections, full histogram) — every serving bench emits this
+/// one schema, so CI consumers parse one key format across artifacts.
+inline void attach_load_counters(benchmark::State& state, const serve::LoadReport& report) {
+  state.counters["QPS"] = report.qps;
+  state.counters["p50_ms"] = report.p50_ms;
+  state.counters["p95_ms"] = report.p95_ms;
+  state.counters["p99_ms"] = report.p99_ms;
+  state.counters["p99_9_ms"] = report.p999_ms;
+  state.counters["mean_batch"] = report.mean_batch;
+  state.counters["rejected"] = static_cast<double>(report.rejected);
+  attach_histogram_counters(state, report);
+}
+
+/// Canonical admission-control counter set for router-fronted tiers.
+inline void attach_admission_counters(benchmark::State& state, const serve::RouterStats& stats) {
+  state.counters["shed_rate"] = stats.shed_rate();
+  state.counters["shed_deadline"] = static_cast<double>(stats.shed_deadline);
+  state.counters["shed_priority"] = static_cast<double>(stats.shed_priority);
+  state.counters["shed_queue_full"] = static_cast<double>(stats.shed_queue_full);
+  state.counters["admitted"] = static_cast<double>(stats.admitted);
 }
 
 /// BENCHMARK_MAIN body with strict flag validation: benchmark::Initialize

@@ -9,7 +9,7 @@
 //                [--requests=400] [--clients=4] [--seed=1] [--zipf-s=0]
 //                [--replicas=2] [--policy=p2c|round-robin|least-outstanding]
 //                [--deadline-ms=20] [--low-frac=0.3] [--no-shed]
-//                [--embed-cache-mb=32]
+//                [--embed-cache-mb=32] [--shards=2]
 //
 // --zipf-s skews query popularity (0 = uniform); with a skewed workload the
 // final stage serves the same checkpoint through the embedding-cached
@@ -19,7 +19,11 @@
 // After the single-server stages, the same snapshot goes to a replicated
 // tier: a ReplicaGroup of --replicas servers fronted by a Router with the
 // chosen load-balancing policy and deadline-aware admission control, driven
-// by the same arrival process at the same rate.
+// by the same arrival process at the same rate. The final stage composes
+// both scaling axes — a ComposedTier of --replicas ShardedServers over
+// --shards vertex-cut shards each — publishes through the broadcast wire
+// path, checks a probe batch bitwise against the single server, and drives
+// the same arrival process through the grid ("composed summary:" line).
 //
 // Unknown flags are rejected (util/options strict mode) so typos fail loudly.
 #include <algorithm>
@@ -30,6 +34,8 @@
 #include "core/single_socket_trainer.hpp"
 #include "graph/datasets.hpp"
 #include "nn/serialize.hpp"
+#include "partition/libra.hpp"
+#include "serve/composed_tier.hpp"
 #include "serve/inference_server.hpp"
 #include "serve/model_snapshot.hpp"
 #include "serve/replica_group.hpp"
@@ -132,6 +138,14 @@ int run_demo(const Options& opts) {
   const LoadReport& open = reports.back();
   std::printf("serving summary: QPS=%.0f p50_ms=%.3f p99_ms=%.3f rejected=%llu\n", open.qps,
               open.p50_ms, open.p99_ms, static_cast<unsigned long long>(open.rejected));
+
+  // Reference answers for the composed tier's bitwise check (stage 7),
+  // taken from the live single server before it goes away.
+  std::vector<vid_t> probe;
+  std::vector<std::vector<real_t>> probe_expected;
+  for (vid_t v = 0; v < 16; ++v)
+    probe.push_back((v * 131) % static_cast<vid_t>(dataset.num_vertices()));
+  for (const vid_t v : probe) probe_expected.push_back(server.infer_sync(v).logits);
   server.stop();
 
   // 5. Replicated tier: the v2 snapshot published to a ReplicaGroup as one
@@ -204,6 +218,51 @@ int run_demo(const Options& opts) {
               "p99_on_ms=%.3f p99_off_ms=%.3f\n",
               embed_hit_rate, embed_reports[1].qps, embed_reports[0].qps,
               embed_reports[1].p99_ms, embed_reports[0].p99_ms);
+
+  // 7. Composed tier: both scaling axes at once — R ShardedServer replicas
+  //    over P vertex-cut shards, fronted by the same Router policy and
+  //    admission control, published through the broadcast wire path. A probe
+  //    batch is checked bitwise against the single server's answers before
+  //    the open-loop run.
+  const int shards = std::max(1, static_cast<int>(opts.get_int("shards", 2)));
+  const EdgePartition partition =
+      partition_libra(dataset.graph.coo(), static_cast<part_t>(shards));
+  ComposedConfig composed_cfg;
+  composed_cfg.replicas = replicas;
+  composed_cfg.policy = policy;
+  composed_cfg.admission = admission;
+  composed_cfg.shard.max_batch = serve_cfg.max_batch;
+  composed_cfg.shard.fanouts = serve_cfg.fanouts;
+  composed_cfg.shard.sample_seed = serve_cfg.sample_seed;
+  composed_cfg.shard.queue_capacity = serve_cfg.queue_capacity;
+  composed_cfg.shard.prefetch_depth = 2;
+  ComposedTier tier(dataset, partition, composed_cfg);
+  tier.publish(server.snapshot());  // v2, through the broadcast wire path
+  tier.start();
+  std::printf("composed tier: %d replicas x %d shards (%d serving ranks), %s routing, "
+              "grid version %llu\n",
+              tier.num_replicas(), tier.num_shards(), tier.concurrency(),
+              route_policy_name(policy).c_str(),
+              static_cast<unsigned long long>(tier.version()));
+
+  // Bitwise probe doubles as the warmup priming the service-rate estimate.
+  const auto probed = tier.infer_batch(probe);
+  bool match = true;
+  for (std::size_t i = 0; i < probe.size(); ++i)
+    match = match && probed[i].has_value() && probed[i]->logits == probe_expected[i];
+  const RouterStats composed_warmed = tier.router().stats();
+
+  RouterLoadConfig composed_load = load;
+  const LoadReport composed = run_router_open_loop(tier.router(), composed_load);
+  tier.stop();
+
+  std::printf("%s\n", render_load_reports(std::vector<LoadReport>{composed},
+                                          "composed tier (replicated x sharded)")
+                          .c_str());
+  const RouterStats cstats = tier.router().stats().since(composed_warmed);
+  std::printf("composed summary: QPS=%.0f p99_ms=%.3f p99_9_ms=%.3f shed_rate=%.3f match=%d\n",
+              composed.qps, composed.p99_ms, composed.p999_ms, cstats.shed_rate(),
+              match ? 1 : 0);
   return 0;
 }
 
@@ -214,7 +273,8 @@ int main(int argc, char** argv) {
   try {
     opts.require_known({"vertices", "epochs", "workers", "batch", "delay-us", "arrival", "rate",
                         "requests", "clients", "seed", "checkpoint", "replicas", "policy",
-                        "deadline-ms", "low-frac", "no-shed", "zipf-s", "embed-cache-mb"});
+                        "deadline-ms", "low-frac", "no-shed", "zipf-s", "embed-cache-mb",
+                        "shards"});
     return run_demo(opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "serve_demo: %s\n", e.what());

@@ -1,0 +1,55 @@
+#include "serve/backend.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace distgnn::serve {
+
+std::vector<std::optional<InferResult>> ServingBackend::infer_batch(
+    std::span<const vid_t> vertices, ServeClock::time_point deadline, Priority priority) {
+  const std::size_t n = vertices.size();
+  std::vector<std::optional<InferResult>> results(n);
+  if (n == 0) return results;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t pending = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++pending;
+    }
+    const bool ok = submit(vertices[i], deadline, priority, [&, i](InferResult&& result) {
+      std::lock_guard<std::mutex> lock(mutex);
+      results[i] = std::move(result);
+      if (--pending == 0) cv.notify_all();
+    });
+    if (!ok) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (--pending == 0) cv.notify_all();
+    }
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return pending == 0; });
+  return results;
+}
+
+InferResult ServingBackend::infer_sync(vid_t vertex) {
+  // Closed-loop callers want backpressure: a full bounded queue means "wait
+  // your turn", not "drop". Retry with a short sleep so a burst of blocking
+  // clients does not spin the admission path — but a backend that stopped
+  // accepting will reject forever, so that case must throw, not wait.
+  std::promise<InferResult> promise;
+  auto future = promise.get_future();
+  while (!submit(vertex, [&promise](InferResult&& r) { promise.set_value(std::move(r)); })) {
+    if (!accepting()) throw std::runtime_error("ServingBackend: infer_sync on a stopped backend");
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  return future.get();
+}
+
+}  // namespace distgnn::serve

@@ -1,0 +1,38 @@
+#include "serve/composed_tier.hpp"
+
+#include <stdexcept>
+
+namespace distgnn::serve {
+
+ComposedTier::ComposedTier(const Dataset& dataset, const EdgePartition& partition,
+                           ComposedConfig config)
+    : num_shards_(partition.num_parts),
+      group_(dataset, config.replicas,
+             [&](int) { return std::make_unique<ShardedServer>(dataset, partition, config.shard); }),
+      router_(group_, config.policy, config.admission) {}
+
+void ComposedTier::publish(std::shared_ptr<const ModelSnapshot> snapshot) {
+  group_.publish_broadcast(std::move(snapshot));
+}
+
+bool ComposedTier::submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+                          std::function<void(InferResult&&)> done) {
+  return router_.submit(vertex, deadline, priority, std::move(done));
+}
+
+std::vector<std::optional<InferResult>> ComposedTier::infer_batch(
+    std::span<const vid_t> vertices, ServeClock::time_point deadline, Priority priority) {
+  return router_.infer_batch(vertices, deadline, priority);
+}
+
+BackendStats ComposedTier::stats() const {
+  BackendStats s = group_.stats();
+  // The Router sheds before any replica queue sees the request; fold those
+  // into the unified rejected counter so the composed tier reports one
+  // admission picture.
+  const RouterStats routed = router_.stats();
+  s.rejected += routed.shed_deadline + routed.shed_priority;
+  return s;
+}
+
+}  // namespace distgnn::serve

@@ -1,7 +1,9 @@
 #include "serve/inference_server.hpp"
 
+#include <chrono>
 #include <future>
 #include <stdexcept>
+#include <thread>
 
 namespace distgnn::serve {
 
@@ -60,25 +62,21 @@ void InferenceServer::publish(std::shared_ptr<const ModelSnapshot> snapshot) {
 }
 
 void InferenceServer::start() {
-  if (running_) return;
+  if (running_.load(std::memory_order_acquire)) return;
   if (!holder_.get()) throw std::logic_error("InferenceServer: start() before publish()");
   queue_.reopen();  // stop() closed it; a restarted server must admit again
-  running_ = true;
+  running_.store(true, std::memory_order_release);
   workers_.reserve(static_cast<std::size_t>(config_.num_workers));
   for (int w = 0; w < config_.num_workers; ++w)
     workers_.emplace_back([this] { worker_loop(); });
 }
 
 void InferenceServer::stop() {
-  if (!running_) return;
+  if (!running_.load(std::memory_order_acquire)) return;
   queue_.close();
   for (auto& t : workers_) t.join();
   workers_.clear();
-  running_ = false;
-}
-
-bool InferenceServer::submit(vid_t vertex, std::function<void(InferResult&&)> done) {
-  return submit(vertex, ServeClock::time_point::max(), Priority::kHigh, std::move(done));
+  running_.store(false, std::memory_order_release);
 }
 
 bool InferenceServer::submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
@@ -92,7 +90,11 @@ bool InferenceServer::submit(vid_t vertex, ServeClock::time_point deadline, Prio
   request.deadline = deadline;
   request.priority = priority;
   request.done = std::move(done);
+  // Admitted is counted before the push so a drain() that starts after this
+  // submit returns can never miss the request (the rejection path undoes it).
+  admitted_.fetch_add(1, std::memory_order_release);
   if (queue_.try_push(std::move(request))) return true;
+  admitted_.fetch_sub(1, std::memory_order_release);
   rejected_.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
@@ -105,9 +107,20 @@ InferResult InferenceServer::infer_sync(vid_t vertex) {
   request.vertex = vertex;
   request.enqueue = ServeClock::now();
   request.done = [&promise](InferResult&& r) { promise.set_value(std::move(r)); };
-  if (!queue_.push(std::move(request)))
+  admitted_.fetch_add(1, std::memory_order_release);
+  if (!queue_.push(std::move(request))) {
+    admitted_.fetch_sub(1, std::memory_order_release);
     throw std::runtime_error("InferenceServer: infer_sync on a stopped server");
+  }
   return future.get();
+}
+
+void InferenceServer::drain() {
+  // Quiesce: everything admitted so far has completed. Polling keeps the
+  // completion path free of extra synchronization; drains are rare (publish
+  // barriers, shutdown) while completions are the hot path.
+  while (completed_.load(std::memory_order_acquire) < admitted_.load(std::memory_order_acquire))
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
 }
 
 EmbedCache* InferenceServer::embed_cache_ptr() const {
@@ -219,14 +232,14 @@ void InferenceServer::finish_batch(std::vector<InferRequest>& batch, const Dense
 double InferenceServer::mean_service_seconds() const {
   // Two atomic loads only — this sits on the per-request admission path, so
   // it must not take the cache-stats locks a full stats() call would.
-  ServerStats s;
+  BackendStats s;
   s.completed = completed_.load(std::memory_order_relaxed);
   s.service_seconds = static_cast<double>(service_ns_.load(std::memory_order_relaxed)) * 1e-9;
   return s.mean_service_seconds();
 }
 
-ServerStats InferenceServer::stats() const {
-  ServerStats s;
+BackendStats InferenceServer::stats() const {
+  BackendStats s;
   s.completed = completed_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
@@ -234,6 +247,7 @@ ServerStats InferenceServer::stats() const {
   s.max_batch_seen = max_batch_seen_.load(std::memory_order_relaxed);
   s.service_seconds = static_cast<double>(service_ns_.load(std::memory_order_relaxed)) * 1e-9;
   s.queue_depth = queue_.size();
+  s.publishes = holder_.num_publishes();
   s.feature_cache = cache_.stats(/*space=*/0);
   if (const EmbedCache* cache = embed_cache_ptr()) s.embed_cache = cache->combined_stats();
   return s;

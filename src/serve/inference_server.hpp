@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "graph/datasets.hpp"
+#include "serve/backend.hpp"
 #include "serve/embed_cache.hpp"
 #include "serve/feature_cache.hpp"
 #include "serve/model_snapshot.hpp"
@@ -53,71 +54,58 @@ struct ServeConfig {
   int embed_cache_shards = 8;
 };
 
-struct ServerStats {
-  std::uint64_t completed = 0;
-  std::uint64_t rejected = 0;
-  std::uint64_t batches = 0;
-  std::uint64_t batched_requests = 0;  // Σ batch sizes (== completed)
-  std::uint64_t max_batch_seen = 0;
-  double service_seconds = 0;     // Σ worker time spent inside process_batch
-  std::size_t queue_depth = 0;    // requests waiting at the time of the call
-  CacheStats feature_cache;  // space 0: local feature rows
-  CacheStats embed_cache;    // layer-output cache, all layers (embed mode only)
-
-  double mean_batch() const {
-    return batches == 0 ? 0.0 : static_cast<double>(batched_requests) / static_cast<double>(batches);
-  }
-  /// Amortized per-request service time — the rate the admission controller
-  /// multiplies queue depth by to decide whether a deadline is meetable.
-  double mean_service_seconds() const {
-    return completed == 0 ? 0.0 : service_seconds / static_cast<double>(completed);
-  }
-};
+/// Single-server stats are the leaf case of the unified BackendStats shape
+/// (serve/backend.hpp); the alias records the subsumption.
+using ServerStats = BackendStats;
 
 /// Deterministic per-request sampling stream shared by every serving mode.
 Rng request_rng(std::uint64_t sample_seed, vid_t vertex);
 
-class InferenceServer {
+class InferenceServer : public ServingBackend {
  public:
   /// The dataset provides graph structure and the feature store; the model
   /// comes in via publish(). The server keeps references only — the dataset
   /// must outlive it.
   InferenceServer(const Dataset& dataset, ServeConfig config);
-  ~InferenceServer();
+  ~InferenceServer() override;
 
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Atomically swaps the served model. Callable before start() and at any
   /// point under live traffic.
-  void publish(std::shared_ptr<const ModelSnapshot> snapshot);
-  std::shared_ptr<const ModelSnapshot> snapshot() const { return holder_.get(); }
+  void publish(std::shared_ptr<const ModelSnapshot> snapshot) override;
+  std::shared_ptr<const ModelSnapshot> snapshot() const override { return holder_.get(); }
 
   /// Spawns the worker pool. Requires a published snapshot.
-  void start();
+  void start() override;
   /// Closes the queue, drains pending requests, joins the workers. Idempotent.
-  void stop();
+  void stop() override;
 
-  /// Asynchronous submission; `done` runs on a worker thread. Returns false
-  /// (and counts a rejection) when the bounded queue is full.
-  bool submit(vid_t vertex, std::function<void(InferResult&&)> done);
-  /// Submission with admission-control metadata (router path). The server
+  using ServingBackend::submit;
+  /// Submission with admission-control metadata (router path). Returns false
+  /// (and counts a rejection) when the bounded queue is full. The server
   /// itself never drops on deadline — that decision belongs to the router.
   bool submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
-              std::function<void(InferResult&&)> done);
-  /// Blocking convenience wrapper for closed-loop clients and tests.
-  InferResult infer_sync(vid_t vertex);
+              std::function<void(InferResult&&)> done) override;
+  /// Blocking convenience wrapper for closed-loop clients and tests; blocks
+  /// on the bounded queue (backpressure) and throws on a stopped server.
+  InferResult infer_sync(vid_t vertex) override;
 
   /// Requests currently waiting in the bounded queue (excludes in-service
   /// batches); the signal power-of-two-choices routing compares.
-  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t queue_depth() const override { return queue_.size(); }
+  /// Blocks until every admitted request has completed.
+  void drain() override;
+  bool accepting() const override { return running_.load(std::memory_order_acquire); }
   /// Amortized per-request service time observed so far (0 until the first
   /// batch completes).
-  double mean_service_seconds() const;
+  double mean_service_seconds() const override;
+  int concurrency() const override { return config_.num_workers; }
 
-  ServerStats stats() const;
+  BackendStats stats() const override;
   const ServeConfig& config() const { return config_; }
-  const Dataset& dataset() const { return dataset_; }
+  const Dataset& dataset() const override { return dataset_; }
   /// Layer-output cache (null unless embed_forward with embed_cache_bytes >
   /// 0 and a snapshot has been published).
   const EmbedCache* embed_cache() const { return embed_cache_ptr(); }
@@ -144,10 +132,11 @@ class InferenceServer {
   mutable std::mutex embed_mutex_;
   std::unique_ptr<EmbedCache> embed_cache_;
   std::vector<std::thread> workers_;
-  bool running_ = false;
+  std::atomic<bool> running_{false};
 
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> admitted_{0};  // successful queue pushes (drain target)
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_requests_{0};

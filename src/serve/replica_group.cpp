@@ -6,29 +6,65 @@
 namespace distgnn::serve {
 
 ReplicaGroup::ReplicaGroup(const Dataset& dataset, ServeConfig config, int num_replicas)
+    : ReplicaGroup(dataset, num_replicas, [&](int) {
+        return std::make_unique<InferenceServer>(dataset, config);
+      }) {}
+
+ReplicaGroup::ReplicaGroup(const Dataset& dataset, int num_replicas,
+                           const ReplicaFactory& factory)
     : dataset_(dataset) {
   if (num_replicas < 1) throw std::invalid_argument("ReplicaGroup: need >= 1 replica");
+  if (!factory) throw std::invalid_argument("ReplicaGroup: null replica factory");
   replicas_.reserve(static_cast<std::size_t>(num_replicas));
-  for (int r = 0; r < num_replicas; ++r)
-    replicas_.push_back(std::make_unique<InferenceServer>(dataset, config));
+  for (int r = 0; r < num_replicas; ++r) {
+    replicas_.push_back(factory(r));
+    if (!replicas_.back()) throw std::invalid_argument("ReplicaGroup: factory returned null");
+  }
 }
 
 ReplicaGroup::~ReplicaGroup() { stop(); }
 
-void ReplicaGroup::publish(std::shared_ptr<const ModelSnapshot> snapshot) {
-  if (!snapshot) throw std::invalid_argument("ReplicaGroup: null snapshot");
+void ReplicaGroup::publish_under_barrier(std::uint64_t version,
+                                         const std::function<void()>& swap) {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] { return !publishing_; });  // one publisher at a time
   publishing_ = true;
   // Version barrier: drain every admitted request before the swap. Replica
-  // queues are empty once outstanding_ hits zero, so after the loop every
+  // queues are empty once outstanding_ hits zero, so after the swap every
   // replica serves the new version and nothing in flight straddles it.
   cv_.wait(lock, [&] { return outstanding_ == 0; });
-  for (auto& replica : replicas_) replica->publish(snapshot);
-  version_ = snapshot->version();
+  swap();
+  version_ = version;
   ++publishes_;
   publishing_ = false;
   cv_.notify_all();
+}
+
+void ReplicaGroup::publish(std::shared_ptr<const ModelSnapshot> snapshot) {
+  if (!snapshot) throw std::invalid_argument("ReplicaGroup: null snapshot");
+  publish_under_barrier(snapshot->version(), [&] {
+    for (auto& replica : replicas_) replica->publish(snapshot);
+  });
+}
+
+void ReplicaGroup::publish_broadcast(std::shared_ptr<const ModelSnapshot> snapshot) {
+  if (!snapshot) throw std::invalid_argument("ReplicaGroup: null snapshot");
+  const ModelSpec spec = snapshot->spec();
+  publish_under_barrier(snapshot->version(), [&] {
+    // One broadcast rank per replica: rank 0 is the publisher, every other
+    // rank reconstructs from the flattened wire payload — the same bytes a
+    // cross-process deployment would put on the network.
+    World world(num_replicas());
+    world.run([&](Communicator& comm) {
+      const auto mine = broadcast_snapshot(
+          comm, spec, comm.rank() == 0 ? snapshot : nullptr, /*root=*/0);
+      replicas_[static_cast<std::size_t>(comm.rank())]->publish(mine);
+    });
+  });
+}
+
+std::shared_ptr<const ModelSnapshot> ReplicaGroup::snapshot() const {
+  return replicas_.front()->snapshot();
 }
 
 void ReplicaGroup::start() {
@@ -37,6 +73,109 @@ void ReplicaGroup::start() {
 
 void ReplicaGroup::stop() {
   for (auto& replica : replicas_) replica->stop();
+}
+
+int ReplicaGroup::pick_round_robin() {
+  return static_cast<int>(rr_next_.fetch_add(1, std::memory_order_relaxed) %
+                          static_cast<std::uint64_t>(replicas_.size()));
+}
+
+bool ReplicaGroup::submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+                          std::function<void(InferResult&&)> done) {
+  if (vertex < 0 || vertex >= dataset_.num_vertices())
+    throw std::out_of_range("ReplicaGroup: vertex id out of range");
+  begin_requests(1);
+  ServingBackend& target = replica(pick_round_robin());
+  bool ok = false;
+  try {
+    ok = target.submit(vertex, deadline, priority,
+                       [this, user_done = std::move(done)](InferResult&& result) mutable {
+                         if (user_done) user_done(std::move(result));
+                         end_request();
+                       });
+  } catch (...) {
+    end_request();
+    throw;
+  }
+  if (!ok) end_request();
+  return ok;
+}
+
+std::vector<std::optional<InferResult>> ReplicaGroup::infer_batch(
+    std::span<const vid_t> vertices, ServeClock::time_point deadline, Priority priority) {
+  const std::size_t n = vertices.size();
+  std::vector<std::optional<InferResult>> results(n);
+  if (n == 0) return results;
+  for (const vid_t v : vertices)
+    if (v < 0 || v >= dataset_.num_vertices())
+      throw std::out_of_range("ReplicaGroup: vertex id out of range");
+
+  // Reserve the whole batch's admission slots atomically: a group publish
+  // has to wait until every request below completes, so all admitted
+  // answers come from one snapshot version.
+  begin_requests(n);
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t pending = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    ServingBackend& target = replica(pick_round_robin());
+    const bool ok =
+        target.submit(vertices[i], deadline, priority, [&, i](InferResult&& result) {
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            results[i] = std::move(result);
+            if (--pending == 0) cv.notify_all();
+          }
+          end_request();
+        });
+    if (!ok) {
+      end_request();
+      std::lock_guard<std::mutex> lock(mutex);
+      if (--pending == 0) cv.notify_all();
+    }
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return pending == 0; });
+  return results;
+}
+
+std::size_t ReplicaGroup::queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& replica : replicas_) depth += replica->queue_depth();
+  return depth;
+}
+
+void ReplicaGroup::drain() {
+  for (auto& replica : replicas_) replica->drain();
+}
+
+bool ReplicaGroup::accepting() const {
+  for (const auto& replica : replicas_)
+    if (!replica->accepting()) return false;
+  return true;
+}
+
+double ReplicaGroup::mean_service_seconds() const {
+  // Unweighted mean of the members' own (cheap-by-contract) estimates: this
+  // sits on the admission path when a group nests behind a Router, so it
+  // must not materialize full stats() snapshots per request.
+  double total = 0;
+  int observed = 0;
+  for (const auto& replica : replicas_) {
+    const double mean = replica->mean_service_seconds();
+    if (mean > 0) {
+      total += mean;
+      ++observed;
+    }
+  }
+  return observed == 0 ? 0.0 : total / static_cast<double>(observed);
+}
+
+int ReplicaGroup::concurrency() const {
+  int total = 0;
+  for (const auto& replica : replicas_) total += replica->concurrency();
+  return total;
 }
 
 std::uint64_t ReplicaGroup::version() const {
@@ -49,16 +188,9 @@ std::uint64_t ReplicaGroup::publishes() const {
   return publishes_;
 }
 
-GroupStats ReplicaGroup::stats() const {
-  GroupStats g;
-  g.per_replica.reserve(replicas_.size());
-  for (const auto& replica : replicas_) {
-    g.per_replica.push_back(replica->stats());
-    const ServerStats& s = g.per_replica.back();
-    g.completed += s.completed;
-    g.batches += s.batches;
-    g.batched_requests += s.batched_requests;
-  }
+BackendStats ReplicaGroup::stats() const {
+  BackendStats g;
+  for (const auto& replica : replicas_) g.absorb(replica->stats());
   g.publishes = publishes();
   return g;
 }

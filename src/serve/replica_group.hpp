@@ -1,48 +1,61 @@
-// Replicated serving tier: one logical shard served by N replica ranks.
+// Replicated serving tier: one logical shard served by N replica backends.
 //
-// A ReplicaGroup owns N InferenceServers over the same dataset with the same
-// ServeConfig (critically: the same sample_seed), so every replica answers
-// every request bitwise-identically to a single server — routing is free to
-// place a request anywhere. The group owns snapshot publication as a group
-// operation with a *version barrier*: publish() waits for every admitted
-// request to complete, swaps all replicas to the new snapshot, and only then
-// re-opens admission. Because a client batch is admitted atomically (the
-// Router holds all of its admission slots before the first submit), no batch
-// can ever contain answers from two snapshot versions.
+// A ReplicaGroup owns N ServingBackends over the same dataset. The default
+// constructor builds N InferenceServers from one ServeConfig (critically:
+// the same sample_seed), so every replica answers every request
+// bitwise-identically to a single server — routing is free to place a
+// request anywhere. The factory constructor generalizes the members: a
+// ComposedTier replicates ShardedServers through it, and tests can mix
+// heterogeneous backends behind one Router.
+//
+// The group owns snapshot publication as a group operation with a *version
+// barrier*: publish() waits for every admitted request to complete, swaps
+// all replicas to the new snapshot, and only then re-opens admission.
+// Because a client batch is admitted atomically (the Router — or the
+// group's own infer_batch — holds all of its admission slots before the
+// first submit), no batch can ever contain answers from two snapshot
+// versions.
 //
 // For multi-process deployments, broadcast_snapshot() is the publication
 // primitive: the publisher rank flattens the weights and version into one
 // payload, broadcasts it over the World runtime, and every replica rank
-// reconstructs a bitwise-identical ModelSnapshot.
+// reconstructs a bitwise-identical ModelSnapshot. publish_broadcast() runs
+// exactly that wire path under the version barrier — one rank per replica —
+// which is how a composed tier publishes across its R×P grid.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "comm/world.hpp"
 #include "graph/datasets.hpp"
+#include "serve/backend.hpp"
 #include "serve/inference_server.hpp"
 
 namespace distgnn::serve {
 
-/// Aggregated view over the group's replicas.
-struct GroupStats {
-  std::uint64_t completed = 0;
-  std::uint64_t batches = 0;
-  std::uint64_t batched_requests = 0;
-  std::uint64_t publishes = 0;
-  std::vector<ServerStats> per_replica;
-};
+/// Aggregated replica view (children = per replica); see BackendStats.
+using GroupStats = BackendStats;
 
-class ReplicaGroup {
+class ReplicaGroup : public ServingBackend {
  public:
-  /// Every replica shares `dataset` (features are not copied) and gets an
-  /// identical ServeConfig — the source of the bitwise-equality guarantee.
+  /// Builds any backend; called once per replica index at construction.
+  using ReplicaFactory = std::function<std::unique_ptr<ServingBackend>(int replica)>;
+
+  /// Homogeneous group: every replica is an InferenceServer sharing
+  /// `dataset` (features are not copied) with an identical ServeConfig —
+  /// the source of the bitwise-equality guarantee.
   ReplicaGroup(const Dataset& dataset, ServeConfig config, int num_replicas);
-  ~ReplicaGroup();
+  /// Generic group: replicas come from `factory`. All members must serve
+  /// `dataset` (answers are expected interchangeable; the factory owns that
+  /// contract).
+  ReplicaGroup(const Dataset& dataset, int num_replicas, const ReplicaFactory& factory);
+  ~ReplicaGroup() override;
 
   ReplicaGroup(const ReplicaGroup&) = delete;
   ReplicaGroup& operator=(const ReplicaGroup&) = delete;
@@ -51,20 +64,47 @@ class ReplicaGroup {
   /// admitted request, hot-swaps all replicas, re-opens admission. After it
   /// returns, every replica serves `snapshot` and no in-flight answer mixes
   /// versions with anything admitted afterwards.
-  void publish(std::shared_ptr<const ModelSnapshot> snapshot);
+  void publish(std::shared_ptr<const ModelSnapshot> snapshot) override;
+  /// Same barrier, but the snapshot travels the group-broadcast wire path:
+  /// replica 0's rank flattens, broadcast_v distributes, every other rank
+  /// reconstructs via ModelSnapshot::from_flat (bitwise-identical) and
+  /// publishes to its own replica. The publication path a real multi-process
+  /// deployment exercises, compressed into one call.
+  void publish_broadcast(std::shared_ptr<const ModelSnapshot> snapshot);
+  std::shared_ptr<const ModelSnapshot> snapshot() const override;
 
-  void start();
-  void stop();
+  void start() override;
+  void stop() override;
+
+  using ServingBackend::submit;
+  /// Policy-free round-robin placement (the Router layers real policies and
+  /// admission control on top; this is the plain ServingBackend view of the
+  /// group). Holds one admission slot for the request's lifetime, so the
+  /// publish barrier still covers it.
+  bool submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+              std::function<void(InferResult&&)> done) override;
+  using ServingBackend::infer_batch;
+  /// Whole batch under ONE admission epoch: every answer carries the same
+  /// snapshot version.
+  std::vector<std::optional<InferResult>> infer_batch(std::span<const vid_t> vertices,
+                                                      ServeClock::time_point deadline,
+                                                      Priority priority) override;
+
+  std::size_t queue_depth() const override;
+  void drain() override;
+  bool accepting() const override;
+  double mean_service_seconds() const override;
+  int concurrency() const override;
+  const Dataset& dataset() const override { return dataset_; }
+  BackendStats stats() const override;
 
   int num_replicas() const { return static_cast<int>(replicas_.size()); }
-  InferenceServer& replica(int i) { return *replicas_[static_cast<std::size_t>(i)]; }
-  const InferenceServer& replica(int i) const { return *replicas_[static_cast<std::size_t>(i)]; }
-  const Dataset& dataset() const { return dataset_; }
+  ServingBackend& replica(int i) { return *replicas_[static_cast<std::size_t>(i)]; }
+  const ServingBackend& replica(int i) const { return *replicas_[static_cast<std::size_t>(i)]; }
 
   /// Version currently served by every replica (0 before the first publish).
   std::uint64_t version() const;
   std::uint64_t publishes() const;
-  GroupStats stats() const;
 
   /// Admission epoch gate (Router protocol). begin_requests(n) reserves n
   /// admission slots atomically, blocking while a publish barrier is in
@@ -75,8 +115,14 @@ class ReplicaGroup {
   void end_request();
 
  private:
+  /// Runs `swap` (which must publish to every replica) under the version
+  /// barrier: one publisher at a time, all admitted traffic drained first.
+  void publish_under_barrier(std::uint64_t version,
+                             const std::function<void()>& swap);
+  int pick_round_robin();
+
   const Dataset& dataset_;
-  std::vector<std::unique_ptr<InferenceServer>> replicas_;
+  std::vector<std::unique_ptr<ServingBackend>> replicas_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
@@ -84,6 +130,7 @@ class ReplicaGroup {
   bool publishing_ = false;
   std::uint64_t version_ = 0;
   std::uint64_t publishes_ = 0;
+  std::atomic<std::uint64_t> rr_next_{0};
 };
 
 /// Group snapshot publication over a World: `root` flattens its snapshot

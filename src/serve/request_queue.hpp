@@ -106,6 +106,23 @@ class BoundedRequestQueue {
     return batch;
   }
 
+  /// Non-blocking batch pop: takes up to `max_batch` immediately-available
+  /// requests, empty when none are waiting. The sharded rank loops use this
+  /// instead of pop_batch because a rank that blocked waiting for local work
+  /// would stop answering peers' halo requests (distributed deadlock).
+  std::vector<InferRequest> try_pop_batch(int max_batch) {
+    std::vector<InferRequest> batch;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      while (static_cast<int>(batch.size()) < max_batch && !queue_.empty()) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (!batch.empty()) not_full_.notify_all();
+    return batch;
+  }
+
   /// Reopens a closed queue for admission (server restart). Only valid once
   /// the previous consumers have drained and exited.
   void reopen() {
@@ -126,6 +143,14 @@ class BoundedRequestQueue {
   std::size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return queue_.size();
+  }
+
+  /// True between close() and reopen(). "closed and empty" is the only safe
+  /// consumer exit condition: a producer may still be mid-try_push while a
+  /// stop flag is already visible, but never after close() returns.
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
   }
 
   std::size_t capacity() const { return capacity_; }

@@ -92,7 +92,7 @@ bool Router::route_one(vid_t vertex, ServeClock::time_point deadline, Priority p
                        std::function<void(InferResult&&)> done) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   const int r = pick_replica();
-  InferenceServer& replica = group_.replica(r);
+  ServingBackend& replica = group_.replica(r);
 
   // Deadline admission: shed when the estimated completion time — queued
   // work ahead of us spread over the worker pool, plus our own service —
@@ -109,7 +109,7 @@ bool Router::route_one(vid_t vertex, ServeClock::time_point deadline, Priority p
     if (mean_service > 0) {
       const double depth = static_cast<double>(
           outstanding_[static_cast<std::size_t>(r)].load(std::memory_order_relaxed));
-      const double workers = static_cast<double>(replica.config().num_workers);
+      const double workers = static_cast<double>(replica.concurrency());
       const double estimate =
           mean_service * (depth / workers + 1.0) * admission_.estimate_margin;
       if (now + std::chrono::duration_cast<ServeClock::duration>(

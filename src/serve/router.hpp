@@ -2,9 +2,13 @@
 //
 // The Router decides two things per request: *where* it runs (round-robin,
 // least-outstanding, or power-of-two-choices over per-replica queue depth)
-// and *whether* it runs at all. Admission control sheds a request when its
+// and *whether* it runs at all. Replicas are ServingBackends — single
+// InferenceServers, ShardedServers (the composed tier), or any mix — and
+// the Router only consults the uniform contract (queue_depth,
+// mean_service_seconds, concurrency), so every policy works unchanged over
+// heterogeneous members. Admission control sheds a request when its
 // deadline cannot be met — estimated as the target replica's outstanding
-// count divided by its worker pool, times the observed per-request service
+// count divided by its concurrency, times the observed per-request service
 // rate — and drops low-priority work first once a replica's queue depth
 // crosses the low-priority watermark. Shedding happens before the queue, so
 // an admitted request is always answered (bitwise-identically to a single

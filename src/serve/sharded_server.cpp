@@ -1,9 +1,8 @@
 #include "serve/sharded_server.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
-#include <thread>
-#include <unordered_map>
 
 #include "partition/partition_setup.hpp"
 #include "serve/inference_server.hpp"
@@ -13,9 +12,9 @@ namespace distgnn::serve {
 
 namespace {
 
-// Round-barrier tag; the feature request/response tags (9101/9102) live in
-// serve/prefetch.cpp with the halo protocol itself.
-constexpr int kTagRoundDone = 9103;
+/// Idle-poll interval: long enough not to burn a core per idle rank, short
+/// enough that a peer's halo request never stalls meaningfully behind it.
+constexpr auto kIdlePoll = std::chrono::microseconds(20);
 
 }  // namespace
 
@@ -48,149 +47,378 @@ std::vector<part_t> vertex_owners(const EdgeList& edges, const EdgePartition& pa
   return owners;
 }
 
+ShardedServer::ShardedServer(const Dataset& dataset, const EdgePartition& partition,
+                             ShardedServeConfig config)
+    : dataset_(dataset),
+      config_(std::move(config)),
+      num_parts_(partition.num_parts),
+      world_(partition.num_parts) {
+  if (num_parts_ < 1) throw std::invalid_argument("ShardedServer: need >= 1 partition part");
+  if (config_.max_batch < 1) throw std::invalid_argument("ShardedServer: max_batch must be >= 1");
+  if (config_.fanouts.empty()) throw std::invalid_argument("ShardedServer: fanouts empty");
+  if (config_.prefetch_depth < 1)
+    throw std::invalid_argument("ShardedServer: prefetch_depth must be >= 1");
+
+  owner_ = vertex_owners(dataset_.graph.coo(), partition, dataset_.num_vertices());
+
+  // Materialize each rank's feature shard: only owned rows — the rest of the
+  // feature store is reachable solely through the halo protocol.
+  const std::size_t f = static_cast<std::size_t>(dataset_.feature_dim());
+  local_index_.resize(static_cast<std::size_t>(num_parts_));
+  local_feats_.resize(static_cast<std::size_t>(num_parts_));
+  {
+    std::vector<std::vector<vid_t>> owned(static_cast<std::size_t>(num_parts_));
+    for (vid_t v = 0; v < dataset_.num_vertices(); ++v)
+      owned[static_cast<std::size_t>(owner_[static_cast<std::size_t>(v)])].push_back(v);
+    for (part_t p = 0; p < num_parts_; ++p) {
+      auto& ids = owned[static_cast<std::size_t>(p)];
+      DenseMatrix& rows = local_feats_[static_cast<std::size_t>(p)];
+      rows.resize_discard(ids.size(), f);
+      for (std::size_t li = 0; li < ids.size(); ++li) {
+        const real_t* src = dataset_.features.row(static_cast<std::size_t>(ids[li]));
+        std::copy(src, src + f, rows.row(li));
+        local_index_[static_cast<std::size_t>(p)].emplace(ids[li], li);
+      }
+    }
+  }
+
+  queues_.reserve(static_cast<std::size_t>(num_parts_));
+  caches_.reserve(static_cast<std::size_t>(num_parts_));
+  rank_states_.reserve(static_cast<std::size_t>(num_parts_));
+  for (part_t p = 0; p < num_parts_; ++p) {
+    queues_.push_back(std::make_unique<BoundedRequestQueue>(config_.queue_capacity));
+    caches_.push_back(std::make_unique<ShardedFeatureCache>(config_.cache_bytes, f,
+                                                            config_.cache_shards));
+    rank_states_.push_back(std::make_unique<RankState>());
+  }
+  embed_caches_.resize(static_cast<std::size_t>(num_parts_));
+
+  // Hot-swap hygiene for the per-rank layer-output caches (entries are
+  // version-keyed, so this frees capacity rather than preventing staleness).
+  holder_.set_on_publish([this](std::uint64_t) {
+    std::lock_guard<std::mutex> lock(embed_mutex_);
+    for (auto& cache : embed_caches_)
+      if (cache) cache->invalidate();
+  });
+
+  (void)dataset_.graph.in_csr();  // build once before the rank threads start
+}
+
+ShardedServer::~ShardedServer() { stop(); }
+
+void ShardedServer::publish(std::shared_ptr<const ModelSnapshot> snapshot) {
+  if (!snapshot) throw std::invalid_argument("ShardedServer: null snapshot");
+  const ModelSpec& spec = snapshot->spec();
+  if (spec.num_layers != static_cast<int>(config_.fanouts.size()))
+    throw std::invalid_argument("ShardedServer: fanouts depth != model layers");
+  if (spec.feature_dim != dataset_.feature_dim())
+    throw std::invalid_argument("ShardedServer: snapshot feature_dim != dataset");
+  if (config_.embed_forward && config_.embed_cache_bytes > 0) {
+    std::lock_guard<std::mutex> lock(embed_mutex_);
+    if (!embed_caches_.front()) {
+      // First publish fixes the cached row widths (as in InferenceServer);
+      // capacity is split across ranks so the sharded tier's total embed
+      // budget matches a single server's embed_cache_bytes.
+      const std::uint64_t per_rank =
+          std::max<std::uint64_t>(1, config_.embed_cache_bytes /
+                                         static_cast<std::uint64_t>(num_parts_));
+      for (auto& cache : embed_caches_)
+        cache = std::make_unique<EmbedCache>(spec, per_rank, config_.embed_cache_shards,
+                                             static_cast<std::uint64_t>(dataset_.num_vertices()));
+    } else {
+      for (int l = 1; l <= spec.num_layers; ++l)
+        if (embed_caches_.front()->dim(l) != spec.out_dim(l - 1))
+          throw std::invalid_argument("ShardedServer: snapshot dims != embed cache dims");
+    }
+  }
+  holder_.publish(std::move(snapshot));
+}
+
+void ShardedServer::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  if (!holder_.get()) throw std::logic_error("ShardedServer: start() before publish()");
+  for (auto& queue : queues_) queue->reopen();
+  done_ranks_.store(0, std::memory_order_release);
+  driver_ = std::thread([this] { world_.run([this](Communicator& comm) { rank_loop(comm); }); });
+  running_.store(true, std::memory_order_release);
+}
+
+void ShardedServer::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  for (auto& queue : queues_) queue->close();  // no new admissions; drain the rest
+  driver_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+bool ShardedServer::submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+                           std::function<void(InferResult&&)> done) {
+  if (vertex < 0 || vertex >= dataset_.num_vertices())
+    throw std::out_of_range("ShardedServer: vertex id out of range");
+  InferRequest request;
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.vertex = vertex;
+  request.enqueue = ServeClock::now();
+  request.deadline = deadline;
+  request.priority = priority;
+  request.done = std::move(done);
+  const part_t target = owner_[static_cast<std::size_t>(vertex)];
+  // Admitted is counted before the push so a drain() that starts after this
+  // submit returns can never miss the request (the rejection path undoes it).
+  admitted_.fetch_add(1, std::memory_order_release);
+  if (queues_[static_cast<std::size_t>(target)]->try_push(std::move(request))) return true;
+  admitted_.fetch_sub(1, std::memory_order_release);
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+std::size_t ShardedServer::queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& queue : queues_) depth += queue->size();
+  return depth;
+}
+
+void ShardedServer::drain() {
+  while (completed_.load(std::memory_order_acquire) < admitted_.load(std::memory_order_acquire))
+    std::this_thread::sleep_for(kIdlePoll);
+}
+
+double ShardedServer::mean_service_seconds() const {
+  const std::uint64_t completed = completed_.load(std::memory_order_relaxed);
+  if (completed == 0) return 0.0;
+  return static_cast<double>(service_ns_.load(std::memory_order_relaxed)) * 1e-9 /
+         static_cast<double>(completed);
+}
+
+EmbedCache* ShardedServer::embed_cache_ptr(part_t rank) const {
+  std::lock_guard<std::mutex> lock(embed_mutex_);
+  return embed_caches_[static_cast<std::size_t>(rank)].get();
+}
+
+BackendStats ShardedServer::stats() const {
+  BackendStats s;
+  for (part_t p = 0; p < num_parts_; ++p) {
+    BackendStats child;
+    {
+      const RankState& state = *rank_states_[static_cast<std::size_t>(p)];
+      std::lock_guard<std::mutex> lock(state.mutex);
+      child = state.stats;
+    }
+    child.children.clear();
+    child.queue_depth = queues_[static_cast<std::size_t>(p)]->size();
+    child.feature_cache = caches_[static_cast<std::size_t>(p)]->stats(/*space=*/0);
+    child.halo_cache = caches_[static_cast<std::size_t>(p)]->stats(/*space=*/1);
+    if (const EmbedCache* cache = embed_cache_ptr(p)) child.embed_cache = cache->combined_stats();
+    s.absorb(std::move(child));
+  }
+  s.rejected = rejected_.load(std::memory_order_relaxed);  // counted at submit, not per rank
+  s.publishes = holder_.num_publishes();
+  return s;
+}
+
+void ShardedServer::finish_requests(std::vector<InferRequest>& batch, const DenseMatrix& logits,
+                                    std::uint64_t snapshot_version,
+                                    ServeClock::time_point service_begin, RankState& state) {
+  const auto now = ServeClock::now();
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    InferResult result;
+    result.request_id = batch[r].id;
+    result.vertex = batch[r].vertex;
+    result.logits.assign(logits.row(r), logits.row(r) + logits.cols());
+    result.latency_seconds = std::chrono::duration<double>(now - batch[r].enqueue).count();
+    result.snapshot_version = snapshot_version;
+    if (batch[r].done) batch[r].done(std::move(result));
+  }
+
+  const auto service_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(ServeClock::now() - service_begin)
+          .count());
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.stats.completed += batch.size();
+    state.stats.batches += 1;
+    state.stats.batched_requests += batch.size();
+    state.stats.max_batch_seen = std::max<std::uint64_t>(state.stats.max_batch_seen, batch.size());
+    state.stats.service_seconds += static_cast<double>(service_ns) * 1e-9;
+  }
+  service_ns_.fetch_add(service_ns, std::memory_order_relaxed);
+  // completed_ is the drain()/publish-barrier signal: it must go last, after
+  // every callback has run.
+  completed_.fetch_add(batch.size(), std::memory_order_release);
+}
+
+void ShardedServer::rank_loop(Communicator& comm) {
+  const part_t me = static_cast<part_t>(comm.rank());
+  if (config_.embed_forward)
+    run_embed_rank(comm, me);
+  else
+    run_classic_rank(comm, me);
+}
+
+void ShardedServer::run_classic_rank(Communicator& comm, part_t me) {
+  BoundedRequestQueue& queue = *queues_[static_cast<std::size_t>(me)];
+  ShardedFeatureCache& cache = *caches_[static_cast<std::size_t>(me)];
+  RankState& state = *rank_states_[static_cast<std::size_t>(me)];
+  const CsrMatrix& in_csr = dataset_.graph.in_csr();
+  HaloFetcher fetcher(comm, owner_, local_feats_[static_cast<std::size_t>(me)],
+                      local_index_[static_cast<std::size_t>(me)], cache);
+  ForwardScratch scratch;
+  DenseMatrix logits;
+
+  // Halo-counter baseline: the fetcher is fresh per start(), but rank stats
+  // accumulate across restarts.
+  std::uint64_t base_rows, base_bytes;
+  double base_wait;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    base_rows = state.stats.halo_rows_fetched;
+    base_bytes = state.stats.halo_bytes;
+    base_wait = state.stats.halo_wait_seconds;
+  }
+  const auto flush_halo = [&] {
+    const HaloFetchStats& fs = fetcher.stats();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.stats.halo_rows_fetched = base_rows + fs.halo_rows_fetched;
+    state.stats.halo_bytes = base_bytes + fs.halo_bytes;
+    state.stats.halo_wait_seconds = base_wait + fs.wait_seconds;
+  };
+
+  // Ring of in-flight halo batches. A slot holds everything a batch needs
+  // between begin_fetch and its forward; slots recycle so steady state never
+  // allocates. The snapshot is pinned at admission, so a hot-swap never
+  // tears a batch.
+  struct Slot {
+    HaloBatch halo;
+    std::vector<InferRequest> requests;
+    std::shared_ptr<const ModelSnapshot> snapshot;
+    ServeClock::time_point service_begin;
+  };
+  const int depth = config_.prefetch_depth;
+  std::vector<Slot> slots(static_cast<std::size_t>(depth));
+  std::vector<Slot*> free_slots;
+  for (Slot& slot : slots) free_slots.push_back(&slot);
+  std::deque<Slot*> in_flight;
+
+  const auto admit_next = [&]() -> bool {
+    if (free_slots.empty()) return false;
+    std::vector<InferRequest> batch = queue.try_pop_batch(config_.max_batch);
+    if (batch.empty()) return false;
+    Slot* slot = free_slots.back();
+    free_slots.pop_back();
+    slot->requests = std::move(batch);
+    slot->snapshot = holder_.get();
+    slot->service_begin = ServeClock::now();
+    slot->halo.minibatches.clear();
+    for (const InferRequest& request : slot->requests) {
+      Rng rng = request_rng(config_.sample_seed, request.vertex);
+      const vid_t seed[1] = {request.vertex};
+      slot->halo.minibatches.push_back(sample_minibatch(in_csr, seed, config_.fanouts, rng));
+    }
+    fetcher.begin_fetch(slot->halo);
+    in_flight.push_back(slot);
+    return true;
+  };
+
+  while (true) {
+    fetcher.service_peers();
+    // Keep the ring full: batches N+1..N+depth-1 have their halo requests
+    // riding the wire (and the peers' service loops) while batch N's
+    // forward runs below.
+    while (static_cast<int>(in_flight.size()) < depth && admit_next()) {
+    }
+    if (in_flight.empty()) {
+      // Exit only once the queue is closed AND drained: a stop flag alone
+      // would race a producer whose try_push lands between our emptiness
+      // check and stop()'s close(), stranding an admitted request forever.
+      if (queue.closed() && queue.size() == 0) break;
+      std::this_thread::sleep_for(kIdlePoll);
+      continue;
+    }
+    Slot* slot = in_flight.front();
+    in_flight.pop_front();
+    fetcher.finish_fetch(slot->halo);  // FIFO channels: finish in begin order
+    slot->snapshot->forward_batch(slot->halo.minibatches, slot->halo.inputs.cview(), scratch,
+                                  logits);
+    finish_requests(slot->requests, logits, slot->snapshot->version(), slot->service_begin,
+                    state);
+    flush_halo();
+    slot->snapshot.reset();
+    free_slots.push_back(slot);
+  }
+
+  // A peer may still be waiting on our halo replies: keep servicing until
+  // every rank has drained its own queue, then leave together.
+  done_ranks_.fetch_add(1, std::memory_order_acq_rel);
+  while (done_ranks_.load(std::memory_order_acquire) < num_parts_) {
+    fetcher.service_peers();
+    std::this_thread::sleep_for(kIdlePoll);
+  }
+  flush_halo();
+}
+
+void ShardedServer::run_embed_rank(Communicator& comm, part_t me) {
+  (void)comm;  // embed mode exchanges no halo messages — layer-0 rows come
+               // through the shared in-process feature store via the rank's
+               // feature cache — so the loop is a plain poll over the queue.
+  BoundedRequestQueue& queue = *queues_[static_cast<std::size_t>(me)];
+  RankState& state = *rank_states_[static_cast<std::size_t>(me)];
+  EmbedForward evaluator(dataset_, config_.fanouts, config_.sample_seed, embed_cache_ptr(me),
+                         caches_[static_cast<std::size_t>(me)].get());
+  std::vector<vid_t> seeds;
+  DenseMatrix logits;
+
+  while (true) {
+    std::vector<InferRequest> batch = queue.try_pop_batch(config_.max_batch);
+    if (batch.empty()) {
+      if (queue.closed() && queue.size() == 0) break;  // see run_classic_rank
+      std::this_thread::sleep_for(kIdlePoll);
+      continue;
+    }
+    const auto service_begin = ServeClock::now();
+    const std::shared_ptr<const ModelSnapshot> snapshot = holder_.get();
+    seeds.clear();
+    for (const InferRequest& request : batch) seeds.push_back(request.vertex);
+    evaluator.infer(*snapshot, seeds, logits);
+    finish_requests(batch, logits, snapshot->version(), service_begin, state);
+  }
+
+  done_ranks_.fetch_add(1, std::memory_order_acq_rel);
+  while (done_ranks_.load(std::memory_order_acquire) < num_parts_)
+    std::this_thread::sleep_for(kIdlePoll);
+}
+
 ShardedServeReport serve_sharded(World& world, const Dataset& dataset,
                                  const EdgePartition& partition,
                                  std::shared_ptr<const ModelSnapshot> snapshot,
                                  std::span<const vid_t> requests,
                                  const ShardedServeConfig& config) {
-  const part_t num_parts = partition.num_parts;
-  if (world.num_ranks() != num_parts)
+  if (world.num_ranks() != partition.num_parts)
     throw std::invalid_argument("serve_sharded: world ranks != partition parts");
-  if (!snapshot) throw std::invalid_argument("serve_sharded: null snapshot");
-  if (snapshot->spec().num_layers != static_cast<int>(config.fanouts.size()))
-    throw std::invalid_argument("serve_sharded: fanouts depth != model layers");
-  if (snapshot->spec().feature_dim != dataset.feature_dim())
-    throw std::invalid_argument("serve_sharded: snapshot feature_dim != dataset");
+
+  ShardedServer server(dataset, partition, config);
+  server.publish(std::move(snapshot));
+  server.start();
 
   ShardedServeReport report;
-  report.owner = vertex_owners(dataset.graph.coo(), partition, dataset.num_vertices());
+  report.owner = server.owners();
   report.results.resize(requests.size());
-  report.per_rank.resize(static_cast<std::size_t>(num_parts));
 
-  // Route every request to the owner of its vertex, and materialize each
-  // rank's feature shard: only owned rows — the rest of the feature store is
-  // reachable solely through the halo protocol.
-  std::vector<std::vector<std::size_t>> routed(static_cast<std::size_t>(num_parts));
+  std::atomic<std::size_t> pending{requests.size()};
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    const vid_t v = requests[i];
-    if (v < 0 || v >= dataset.num_vertices())
-      throw std::out_of_range("serve_sharded: request vertex out of range");
-    routed[static_cast<std::size_t>(report.owner[static_cast<std::size_t>(v)])].push_back(i);
-  }
-  const std::size_t f = static_cast<std::size_t>(dataset.feature_dim());
-  std::vector<std::unordered_map<vid_t, std::size_t>> local_index(
-      static_cast<std::size_t>(num_parts));
-  std::vector<DenseMatrix> local_feats(static_cast<std::size_t>(num_parts));
-  {
-    std::vector<std::vector<vid_t>> owned(static_cast<std::size_t>(num_parts));
-    for (vid_t v = 0; v < dataset.num_vertices(); ++v)
-      owned[static_cast<std::size_t>(report.owner[static_cast<std::size_t>(v)])].push_back(v);
-    for (part_t p = 0; p < num_parts; ++p) {
-      auto& ids = owned[static_cast<std::size_t>(p)];
-      DenseMatrix& rows = local_feats[static_cast<std::size_t>(p)];
-      rows.resize_discard(ids.size(), f);
-      for (std::size_t li = 0; li < ids.size(); ++li) {
-        const real_t* src = dataset.features.row(static_cast<std::size_t>(ids[li]));
-        std::copy(src, src + f, rows.row(li));
-        local_index[static_cast<std::size_t>(p)].emplace(ids[li], li);
-      }
-    }
-  }
-
-  (void)dataset.graph.in_csr();  // build once before the rank threads start
-
-  world.run([&](Communicator& comm) {
-    const part_t me = static_cast<part_t>(comm.rank());
-    const CsrMatrix& in_csr = dataset.graph.in_csr();
-    const std::vector<std::size_t>& my_requests = routed[static_cast<std::size_t>(me)];
-    ShardedRankStats& stats = report.per_rank[static_cast<std::size_t>(me)];
-
-    ShardedFeatureCache cache(config.cache_bytes, f, config.cache_shards);
-    HaloFetcher fetcher(comm, report.owner, local_feats[static_cast<std::size_t>(me)],
-                        local_index[static_cast<std::size_t>(me)], cache);
-    ForwardScratch scratch;
-    DenseMatrix logits;
-
-    const std::size_t batch_size = static_cast<std::size_t>(config.max_batch);
-    const std::size_t my_batches = (my_requests.size() + batch_size - 1) / batch_size;
-    const auto all_counts = comm.allgather(static_cast<std::int64_t>(my_batches));
-    const std::size_t rounds = static_cast<std::size_t>(
-        *std::max_element(all_counts.begin(), all_counts.end()));
-
-    // Double buffer: with prefetch on, batch round+1's halo requests go out
-    // before round's forward runs, so peer replies overlap compute. The sync
-    // path uses buffer 0 only, begin/finish back to back.
-    HaloBatch buffers[2];
-    const auto sample_and_begin = [&](std::size_t round_index, HaloBatch& batch) {
-      const std::size_t begin = round_index * batch_size;
-      const std::size_t end = std::min(my_requests.size(), begin + batch_size);
-      batch.minibatches.clear();
-      for (std::size_t i = begin; i < end; ++i) {
-        const vid_t v = requests[my_requests[i]];
-        Rng rng = request_rng(config.sample_seed, v);
-        const vid_t seed[1] = {v};
-        batch.minibatches.push_back(sample_minibatch(in_csr, seed, config.fanouts, rng));
-      }
-      fetcher.begin_fetch(batch);
+    InferResult& out = report.results[i];
+    const auto done = [&out, &pending, i](InferResult&& result) {
+      out = std::move(result);
+      out.request_id = i;  // legacy contract: id == position in the span
+      pending.fetch_sub(1, std::memory_order_release);
     };
+    // The one-shot driver never rejects: a full owner queue is backpressure.
+    while (!server.submit(requests[i], done))
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  while (pending.load(std::memory_order_acquire) > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
 
-    if (config.prefetch && my_batches > 0) sample_and_begin(0, buffers[0]);
-
-    for (std::size_t round = 0; round < rounds; ++round) {
-      if (round < my_batches) {
-        HaloBatch& batch = buffers[config.prefetch ? round % 2 : 0];
-        if (config.prefetch) {
-          // Issue the next batch's requests first: they ride the wire (and
-          // the peers' service loops) while this batch's forward runs below.
-          if (round + 1 < my_batches) sample_and_begin(round + 1, buffers[(round + 1) % 2]);
-        } else {
-          sample_and_begin(round, batch);
-        }
-        fetcher.finish_fetch(batch);
-
-        snapshot->forward_batch(batch.minibatches, batch.inputs.cview(), scratch, logits);
-        const std::size_t begin = round * batch_size;
-        const std::size_t end = std::min(my_requests.size(), begin + batch_size);
-        for (std::size_t r = 0; r < end - begin; ++r) {
-          const std::size_t global = my_requests[begin + r];
-          InferResult& result = report.results[global];
-          result.request_id = global;
-          result.vertex = requests[global];
-          result.logits.assign(logits.row(r), logits.row(r) + logits.cols());
-          result.snapshot_version = snapshot->version();
-        }
-        stats.served += end - begin;
-        ++stats.batches;
-      }
-
-      // Service-while-waiting round barrier: a plain barrier would deadlock
-      // (a busy rank can be blocked on our halo reply while we sit in the
-      // barrier), so idle ranks keep answering until every peer checks in.
-      for (part_t p = 0; p < num_parts; ++p)
-        if (p != me) comm.send(p, kTagRoundDone, std::vector<real_t>{1.0f});
-      std::vector<std::uint8_t> seen(static_cast<std::size_t>(num_parts), 0);
-      int tokens = 0;
-      while (tokens < num_parts - 1) {
-        fetcher.service_peers();
-        for (part_t p = 0; p < num_parts; ++p) {
-          if (p == me || seen[static_cast<std::size_t>(p)]) continue;
-          if (comm.try_recv(p, kTagRoundDone)) {
-            seen[static_cast<std::size_t>(p)] = 1;
-            ++tokens;
-          }
-        }
-        std::this_thread::yield();
-      }
-    }
-
-    const HaloFetchStats& fetched = fetcher.stats();
-    stats.halo_rows_fetched = fetched.halo_rows_fetched;
-    stats.halo_bytes = fetched.halo_bytes;
-    stats.halo_wait_seconds = fetched.wait_seconds;
-    stats.local_cache = cache.stats(/*space=*/0);
-    stats.halo_cache = cache.stats(/*space=*/1);
-  });
-
+  report.per_rank = server.stats().children;
+  server.stop();
   return report;
 }
 

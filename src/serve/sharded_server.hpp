@@ -1,33 +1,63 @@
-// Partition-aware sharded serving: one server loop per World rank.
+// Partition-aware sharded serving: one persistent server loop per rank.
 //
 // Production deployments shard the (huge) feature store, not the (compact)
 // adjacency: every rank keeps the full graph structure for sampling, but
 // holds feature rows only for the vertices it owns under a partition/libra
 // vertex-cut (a vertex's owner is the rank of its root clone, i.e. the
-// owns_label clone of partition_setup). Requests are routed to the owner
-// rank of their target vertex; when a sampled neighbourhood reaches into
-// another rank's shard, the missing rows are fetched point-to-point over the
-// World runtime and retained in the halo space of the rank's feature cache.
+// owns_label clone of partition_setup). ShardedServer routes each submitted
+// request to the owner rank of its target vertex; when a sampled
+// neighbourhood reaches into another rank's shard, the missing rows are
+// fetched point-to-point over the World runtime (serve/prefetch's
+// HaloFetcher) and retained in the halo space of the rank's feature cache.
+//
+// Each rank runs a poll loop — never a blocking wait — because a rank that
+// blocked on local work would stop answering peers' halo requests
+// (distributed deadlock). The loop keeps a ring of up to
+// `prefetch_depth` in-flight HaloBatches: with depth 1 the fetch is
+// synchronous (begin + finish back to back); with depth d >= 2, batches
+// N+1..N+d-1 have their halo requests on the wire while batch N's forward
+// runs, so peer replies overlap compute. Answers are bitwise-identical at
+// every depth; only halo_wait_seconds moves.
 //
 // Sampling uses the same request_rng(seed, vertex) stream as the
-// single-process InferenceServer, so a 2-rank sharded deployment answers
+// single-process InferenceServer, so a P-rank sharded deployment answers
 // bitwise-identically to one server over the whole feature store — the
-// equivalence tests pin exactly that.
+// equivalence tests pin exactly that. With embed_forward enabled, each rank
+// instead serves through its own EmbedForward over a per-rank EmbedCache
+// (entries keyed by snapshot version, invalidated on publish): owner
+// routing concentrates a vertex's repeat queries on one rank, so per-rank
+// caches see the full hit rate without any cross-rank coherence. Halo rows
+// in embed mode are read from the shared in-process feature store (wire-
+// accurate halo *embedding* fetch is a ROADMAP follow-on).
+//
+// ShardedServer implements ServingBackend, so a ReplicaGroup can replicate
+// it (ComposedTier: R replicas x P shards) and the Router / traffic
+// generators drive it exactly like a single InferenceServer.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "comm/world.hpp"
 #include "graph/datasets.hpp"
 #include "partition/libra.hpp"
+#include "serve/backend.hpp"
+#include "serve/embed_cache.hpp"
 #include "serve/feature_cache.hpp"
 #include "serve/model_snapshot.hpp"
 #include "serve/request_queue.hpp"
 
 namespace distgnn::serve {
+
+class HaloFetcher;
+struct HaloBatch;
 
 struct ShardedServeConfig {
   int max_batch = 8;
@@ -35,34 +65,121 @@ struct ShardedServeConfig {
   std::uint64_t cache_bytes = 8ull << 20;
   int cache_shards = 4;
   std::uint64_t sample_seed = 1;
-  /// Async halo prefetch: issue batch N+1's halo feature requests before
-  /// running batch N's forward (double-buffered HaloFetcher), so the peer's
-  /// reply overlaps compute instead of stalling the next batch. Answers are
-  /// bitwise-identical either way; only halo_wait_seconds moves.
-  bool prefetch = false;
+  std::size_t queue_capacity = 1024;  // per rank
+  /// In-flight halo batches per rank: 1 = synchronous fetch, 2 = the classic
+  /// double buffer, d = a ring pipelining d-1 batches of fetch latency
+  /// behind compute (deeper rings suit slower interconnects). Answers are
+  /// bitwise-identical at every depth.
+  int prefetch_depth = 1;
+  /// Embedding-cached serving: each rank serves through EmbedForward with a
+  /// per-rank EmbedCache keyed by (vertex, layer, snapshot version). Owner
+  /// routing keeps a vertex's repeats on one rank, so per-rank caches need
+  /// no coherence. Same canonical sampling stream as the single-server embed
+  /// mode, so answers match it bitwise (but not the classic path's stream).
+  bool embed_forward = false;
+  std::uint64_t embed_cache_bytes = 32ull << 20;
+  int embed_cache_shards = 8;
 };
 
-struct ShardedRankStats {
-  std::uint64_t served = 0;
-  std::uint64_t batches = 0;
-  std::uint64_t halo_rows_fetched = 0;  // rows that crossed a rank boundary
-  std::uint64_t halo_bytes = 0;
-  /// Time this rank spent blocked waiting for halo responses (the quantity
-  /// prefetch overlaps away; compare per batch against a prefetch=false run
-  /// via ShardedServeReport::mean_halo_wait_per_batch).
-  double halo_wait_seconds = 0;
-  CacheStats local_cache;  // space 0: owned rows
-  CacheStats halo_cache;   // space 1: remote rows
+/// Per-rank stats are the sharded leaf case of the unified BackendStats
+/// shape (serve/backend.hpp); the alias records the subsumption.
+using ShardedRankStats = BackendStats;
+
+class ShardedServer : public ServingBackend {
+ public:
+  /// One serving rank per partition part, over `dataset`'s features split by
+  /// the vertex-cut. The dataset and partition-derived state must outlive
+  /// the server; the World of partition.num_parts ranks is owned internally.
+  ShardedServer(const Dataset& dataset, const EdgePartition& partition,
+                ShardedServeConfig config);
+  ~ShardedServer() override;
+
+  ShardedServer(const ShardedServer&) = delete;
+  ShardedServer& operator=(const ShardedServer&) = delete;
+
+  void publish(std::shared_ptr<const ModelSnapshot> snapshot) override;
+  std::shared_ptr<const ModelSnapshot> snapshot() const override { return holder_.get(); }
+
+  /// Spawns the rank loops (one thread per partition part). Requires a
+  /// published snapshot.
+  void start() override;
+  /// Closes the per-rank queues, drains admitted requests, joins the rank
+  /// threads. Idempotent.
+  void stop() override;
+
+  using ServingBackend::submit;
+  /// Routes the request to the owner rank of `vertex`; false (a rejection)
+  /// when that rank's bounded queue is full.
+  bool submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+              std::function<void(InferResult&&)> done) override;
+
+  std::size_t queue_depth() const override;
+  void drain() override;
+  bool accepting() const override { return running_.load(std::memory_order_acquire); }
+  double mean_service_seconds() const override;
+  /// One serving loop per rank.
+  int concurrency() const override { return num_parts_; }
+  const Dataset& dataset() const override { return dataset_; }
+  /// Aggregate over ranks; children[r] is rank r's detail (halo counters,
+  /// per-rank caches, queue depth).
+  BackendStats stats() const override;
+
+  int num_ranks() const { return num_parts_; }
+  /// Vertex -> owning rank (the routing table).
+  const std::vector<part_t>& owners() const { return owner_; }
+
+ private:
+  struct RankState {
+    mutable std::mutex mutex;
+    BackendStats stats;  // batch/halo counters only; caches read live
+  };
+
+  void rank_loop(Communicator& comm);
+  void run_classic_rank(Communicator& comm, part_t me);
+  void run_embed_rank(Communicator& comm, part_t me);
+  void finish_requests(std::vector<InferRequest>& batch, const DenseMatrix& logits,
+                       std::uint64_t snapshot_version, ServeClock::time_point service_begin,
+                       RankState& state);
+  EmbedCache* embed_cache_ptr(part_t rank) const;
+
+  const Dataset& dataset_;
+  ShardedServeConfig config_;
+  part_t num_parts_;
+  std::vector<part_t> owner_;
+  std::vector<std::unordered_map<vid_t, std::size_t>> local_index_;
+  std::vector<DenseMatrix> local_feats_;
+
+  World world_;
+  std::thread driver_;  // runs world_.run(rank_loop) so start() returns
+  std::vector<std::unique_ptr<BoundedRequestQueue>> queues_;
+  std::vector<std::unique_ptr<ShardedFeatureCache>> caches_;
+  mutable std::mutex embed_mutex_;
+  std::vector<std::unique_ptr<EmbedCache>> embed_caches_;
+  std::vector<std::unique_ptr<RankState>> rank_states_;
+  SnapshotHolder holder_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<int> done_ranks_{0};
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> service_ns_{0};
 };
+
+// --------------------------------------------------------------------------
+// Legacy one-shot driver (kept as a thin wrapper over ShardedServer; see the
+// README migration note). New code should construct ShardedServer directly —
+// it is a long-lived ServingBackend that composes with ReplicaGroup/Router.
 
 struct ShardedServeReport {
-  std::vector<InferResult> results;  // aligned with the request span
-  std::vector<part_t> owner;         // vertex -> owning rank (the routing table)
-  std::vector<ShardedRankStats> per_rank;
+  std::vector<InferResult> results;       // aligned with the request span
+  std::vector<part_t> owner;              // vertex -> owning rank
+  std::vector<ShardedRankStats> per_rank; // = ShardedServer stats().children
 
   std::uint64_t total_halo_rows() const;
   /// Mean halo wait per batch over the ranks that ran batches — the bench's
-  /// fetch/compute-overlap headline (prefetch strictly below synchronous).
+  /// fetch/compute-overlap headline (deeper prefetch strictly below depth 1).
   double mean_halo_wait_per_batch() const;
 };
 
@@ -72,9 +189,10 @@ struct ShardedServeReport {
 std::vector<part_t> vertex_owners(const EdgeList& edges, const EdgePartition& partition,
                                   vid_t num_vertices);
 
-/// Serves `requests` with one server per World rank (world.num_ranks() must
-/// equal partition.num_parts). Each request is routed to the owner of its
-/// vertex; results come back aligned with the input order.
+/// Serves `requests` through a temporary ShardedServer (world.num_ranks()
+/// must equal partition.num_parts; the world argument is retained for API
+/// compatibility — the server owns its own ranks). Results come back aligned
+/// with the input order.
 ShardedServeReport serve_sharded(World& world, const Dataset& dataset,
                                  const EdgePartition& partition,
                                  std::shared_ptr<const ModelSnapshot> snapshot,

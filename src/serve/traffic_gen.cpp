@@ -203,7 +203,7 @@ EmbedWorkloadReport run_embed_cache_workload(const Dataset& dataset,
   return report;
 }
 
-TrafficGenerator::TrafficGenerator(InferenceServer& server, std::uint64_t seed, double zipf_s,
+TrafficGenerator::TrafficGenerator(ServingBackend& server, std::uint64_t seed, double zipf_s,
                                    std::uint64_t zipf_perm_seed)
     : server_(server), rng_(seed) {
   if (zipf_s < 0) throw std::invalid_argument("TrafficGenerator: zipf_s must be >= 0");

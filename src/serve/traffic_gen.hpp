@@ -126,17 +126,19 @@ EmbedWorkloadReport run_embed_cache_workload(const Dataset& dataset,
 
 class TrafficGenerator {
  public:
-  /// Queries target random vertices of the server's dataset,
-  /// deterministically from `seed`. `zipf_s` sets the popularity skew:
-  /// 0 (default) is uniform; s > 0 draws vertices Zipf(s)-distributed —
-  /// rank-r popularity ∝ 1/r^s over a shuffled vertex order — the
-  /// repeat-query workload that exercises the serving embedding cache
-  /// (real query traffic is heavy-tailed, like the MMPP arrival side).
+  /// Drives any ServingBackend — a single InferenceServer, a ShardedServer,
+  /// or a whole composed tier — through the uniform contract. Queries target
+  /// random vertices of the backend's dataset, deterministically from
+  /// `seed`. `zipf_s` sets the popularity skew: 0 (default) is uniform;
+  /// s > 0 draws vertices Zipf(s)-distributed — rank-r popularity ∝ 1/r^s
+  /// over a shuffled vertex order — the repeat-query workload that exercises
+  /// the serving embedding cache (real query traffic is heavy-tailed, like
+  /// the MMPP arrival side).
   /// The rank -> vertex shuffle is seeded by `zipf_perm_seed`, separate from
   /// the draw stream: generators with different `seed`s but the same
   /// permutation seed issue *different request sequences over the same hot
   /// set*, which is what makes warm-cache measurements honest.
-  TrafficGenerator(InferenceServer& server, std::uint64_t seed, double zipf_s = 0.0,
+  TrafficGenerator(ServingBackend& server, std::uint64_t seed, double zipf_s = 0.0,
                    std::uint64_t zipf_perm_seed = 71);
 
   /// `num_clients` threads each issue `requests_each` blocking queries.
@@ -153,7 +155,7 @@ class TrafficGenerator {
                     const LatencyRecorder& latencies, std::uint64_t batches_delta,
                     std::uint64_t batched_requests_delta) const;
 
-  InferenceServer& server_;
+  ServingBackend& server_;
   Rng rng_;
   std::optional<ZipfSampler> zipf_;  // nullopt = uniform popularity
 };

@@ -1,0 +1,541 @@
+// The unified ServingBackend contract and the replicated x sharded
+// composition: ShardedServer as a long-lived backend (bitwise equality,
+// prefetch ring depths, per-rank embedding caches), ComposedTier's R x P
+// grid against a single server, Router policies over heterogeneous backend
+// mixes, and the SnapshotHolder publish-hook re-registration semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "graph/datasets.hpp"
+#include "partition/libra.hpp"
+#include "serve/backend.hpp"
+#include "serve/composed_tier.hpp"
+#include "serve/embed_cache.hpp"
+#include "serve/inference_server.hpp"
+#include "serve/model_snapshot.hpp"
+#include "serve/replica_group.hpp"
+#include "serve/router.hpp"
+#include "serve/sharded_server.hpp"
+
+namespace distgnn {
+namespace {
+
+using namespace distgnn::serve;
+
+Dataset make_composed_dataset() {
+  LearnableSbmParams params;
+  params.num_vertices = 512;
+  params.num_classes = 4;
+  params.avg_degree = 8;
+  params.feature_dim = 16;
+  params.seed = 5;
+  return make_learnable_sbm(params);
+}
+
+ModelSpec sage_spec(const Dataset& dataset) {
+  ModelSpec spec;
+  spec.kind = ModelKind::kSage;
+  spec.feature_dim = dataset.feature_dim();
+  spec.hidden_dim = 16;
+  spec.num_classes = dataset.num_classes;
+  spec.num_layers = 2;
+  return spec;
+}
+
+std::vector<vid_t> probe_vertices(const Dataset& dataset, int count, vid_t stride) {
+  std::vector<vid_t> vertices;
+  for (vid_t v = 0; v < count; ++v)
+    vertices.push_back((v * stride) % static_cast<vid_t>(dataset.num_vertices()));
+  return vertices;
+}
+
+/// Single-server reference answers with the canonical (seed=1, {5,5}) setup
+/// every backend below shares.
+std::vector<std::vector<real_t>> single_server_reference(const Dataset& dataset,
+                                                         std::shared_ptr<const ModelSnapshot> snap,
+                                                         std::span<const vid_t> vertices) {
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  cfg.max_batch = 4;
+  cfg.fanouts = {5, 5};
+  InferenceServer single(dataset, cfg);
+  single.publish(std::move(snap));
+  single.start();
+  std::vector<std::vector<real_t>> expected;
+  for (const vid_t v : vertices) expected.push_back(single.infer_sync(v).logits);
+  single.stop();
+  return expected;
+}
+
+// ------------------------------------------------------------ ShardedServer
+
+TEST(ShardedServer, BackendAnswersBitwiseEqualSingleServerAndDrains) {
+  const Dataset dataset = make_composed_dataset();
+  const auto snapshot = ModelSnapshot::random(sage_spec(dataset), /*seed=*/77, /*version=*/3);
+  const std::vector<vid_t> vertices = probe_vertices(dataset, 40, 37);
+  const auto expected = single_server_reference(dataset, snapshot, vertices);
+
+  const EdgePartition partition = partition_libra(dataset.graph.coo(), /*num_parts=*/2);
+  ShardedServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.fanouts = {5, 5};
+  ShardedServer server(dataset, partition, cfg);
+  server.publish(snapshot);
+  server.start();
+
+  // Through the generic backend surface: async submits, then drain().
+  ServingBackend& backend = server;
+  std::vector<std::vector<real_t>> got(vertices.size());
+  std::atomic<std::size_t> done{0};
+  for (std::size_t i = 0; i < vertices.size(); ++i)
+    ASSERT_TRUE(backend.submit(vertices[i], [&, i](InferResult&& r) {
+      got[i] = std::move(r.logits);
+      done.fetch_add(1);
+    }));
+  backend.drain();
+  EXPECT_EQ(done.load(), vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i)
+    EXPECT_EQ(got[i], expected[i]) << "request " << i;
+
+  const BackendStats stats = backend.stats();
+  EXPECT_EQ(stats.completed, vertices.size());
+  ASSERT_EQ(stats.children.size(), 2u);  // per-rank detail
+  EXPECT_GT(stats.children[0].completed, 0u);
+  EXPECT_GT(stats.children[1].completed, 0u);
+  EXPECT_GT(stats.halo_rows_fetched, 0u);  // the vertex-cut really ran
+  EXPECT_GT(stats.mean_service_seconds(), 0.0);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  server.stop();
+}
+
+TEST(ShardedServer, PrefetchRingDepthsAreBitwiseIdentical) {
+  const Dataset dataset = make_composed_dataset();
+  const auto snapshot = ModelSnapshot::random(sage_spec(dataset), /*seed=*/77, /*version=*/3);
+  const EdgePartition partition = partition_libra(dataset.graph.coo(), /*num_parts=*/2);
+
+  std::vector<vid_t> requests = probe_vertices(dataset, 48, 29);
+  ShardedServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.fanouts = {5, 5};
+
+  World world(2);
+  cfg.prefetch_depth = 2;
+  const ShardedServeReport depth2 =
+      serve_sharded(world, dataset, partition, snapshot, requests, cfg);
+  cfg.prefetch_depth = 3;
+  const ShardedServeReport depth3 =
+      serve_sharded(world, dataset, partition, snapshot, requests, cfg);
+
+  ASSERT_EQ(depth2.results.size(), depth3.results.size());
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    EXPECT_EQ(depth2.results[i].logits, depth3.results[i].logits) << "request " << i;
+  EXPECT_GT(depth2.total_halo_rows(), 0u);
+  EXPECT_GT(depth3.total_halo_rows(), 0u);
+}
+
+TEST(ShardedServer, RejectsInvalidConfigAndLifecycleMisuse) {
+  const Dataset dataset = make_composed_dataset();
+  const EdgePartition partition = partition_libra(dataset.graph.coo(), 2);
+  ShardedServeConfig bad;
+  bad.prefetch_depth = 0;
+  EXPECT_THROW(ShardedServer(dataset, partition, bad), std::invalid_argument);
+
+  ShardedServeConfig cfg;
+  cfg.fanouts = {5, 5};
+  ShardedServer server(dataset, partition, cfg);
+  EXPECT_THROW(server.start(), std::logic_error);  // nothing published
+  EXPECT_THROW(server.publish(nullptr), std::invalid_argument);
+  server.publish(ModelSnapshot::random(sage_spec(dataset), 1, 1));
+  server.start();
+  EXPECT_THROW(server.submit(dataset.num_vertices(), nullptr), std::out_of_range);
+  server.stop();
+}
+
+// ----------------------------------------------------- sharded embed caches
+
+TEST(ShardedServer, EmbedModeMatchesEvaluatorBitwiseAndHitsPerRankCaches) {
+  const Dataset dataset = make_composed_dataset();
+  const auto snapshot = ModelSnapshot::random(sage_spec(dataset), /*seed=*/21, /*version=*/1);
+  const std::vector<int> fanouts = {5, 5};
+  const std::vector<vid_t> seeds = probe_vertices(dataset, 24, 41);
+
+  // Uncached canonical-sampling evaluation is the bitwise reference for
+  // every embed-mode tier.
+  EmbedForward reference(dataset, fanouts, /*sample_seed=*/1, nullptr, nullptr);
+  DenseMatrix expected;
+  reference.infer(*snapshot, seeds, expected);
+
+  const EdgePartition partition = partition_libra(dataset.graph.coo(), /*num_parts=*/2);
+  ShardedServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.fanouts = fanouts;
+  cfg.embed_forward = true;
+  ShardedServer server(dataset, partition, cfg);
+  server.publish(snapshot);
+  server.start();
+
+  const auto check_pass = [&] {
+    const auto results = server.infer_batch(seeds);
+    ASSERT_EQ(results.size(), seeds.size());
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      ASSERT_TRUE(results[i].has_value()) << "request " << i;
+      const auto& logits = results[i]->logits;
+      ASSERT_EQ(logits.size(), expected.cols());
+      for (std::size_t j = 0; j < logits.size(); ++j)
+        EXPECT_EQ(logits[j], expected.at(i, j)) << "request " << i << " class " << j;
+    }
+  };
+  check_pass();  // cold: fills the per-rank caches
+  server.drain();  // quiesce before reading stats (counters flush last)
+  const BackendStats cold = server.stats();
+  check_pass();  // warm: owner routing sends repeats to the same rank's cache
+  server.drain();
+  const BackendStats warm = server.stats();
+  server.stop();
+
+  EXPECT_GT(warm.embed_cache.accesses, cold.embed_cache.accesses);
+  EXPECT_GT(warm.embed_cache.hits(), 0u);
+  // The repeat pass computed nothing new: every miss happened in the cold
+  // pass, so per-rank version-keyed caches really served the second one.
+  EXPECT_EQ(warm.embed_cache.misses, cold.embed_cache.misses);
+  ASSERT_EQ(warm.children.size(), 2u);
+  EXPECT_GT(warm.children[0].embed_cache.accesses, 0u);
+  EXPECT_GT(warm.children[1].embed_cache.accesses, 0u);
+}
+
+// ------------------------------------------------------------- ComposedTier
+
+TEST(ComposedTier, R2P2AnswersBitwiseEqualSingleServer) {
+  const Dataset dataset = make_composed_dataset();
+  const auto snapshot = ModelSnapshot::random(sage_spec(dataset), /*seed=*/31, /*version=*/1);
+  const std::vector<vid_t> vertices = probe_vertices(dataset, 40, 37);
+  const auto expected = single_server_reference(dataset, snapshot, vertices);
+
+  const EdgePartition partition = partition_libra(dataset.graph.coo(), /*num_parts=*/2);
+  ComposedConfig cfg;
+  cfg.replicas = 2;
+  cfg.shard.max_batch = 4;
+  cfg.shard.fanouts = {5, 5};
+  cfg.shard.prefetch_depth = 2;
+  ComposedTier tier(dataset, partition, cfg);
+  tier.publish(snapshot);  // the broadcast_snapshot wire path
+  tier.start();
+
+  EXPECT_EQ(tier.num_replicas(), 2);
+  EXPECT_EQ(tier.num_shards(), 2);
+  EXPECT_EQ(tier.version(), 1u);
+  const auto results = tier.infer_batch(vertices);
+  tier.stop();
+
+  ASSERT_EQ(results.size(), vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    ASSERT_TRUE(results[i].has_value()) << "request " << i;
+    EXPECT_EQ(results[i]->logits, expected[i]) << "request " << i;
+    EXPECT_EQ(results[i]->snapshot_version, 1u);
+  }
+}
+
+TEST(ComposedTier, BroadcastPublishHotSwapsTheWholeGrid) {
+  const Dataset dataset = make_composed_dataset();
+  const ModelSpec spec = sage_spec(dataset);
+  const auto v1 = ModelSnapshot::random(spec, /*seed=*/100, /*version=*/1);
+  const auto v2 = ModelSnapshot::random(spec, /*seed=*/200, /*version=*/2);
+  const std::vector<vid_t> vertices = probe_vertices(dataset, 12, 17);
+  const auto expect_v2 = single_server_reference(dataset, v2, vertices);
+
+  const EdgePartition partition = partition_libra(dataset.graph.coo(), 2);
+  ComposedConfig cfg;
+  cfg.replicas = 2;
+  cfg.shard.max_batch = 4;
+  cfg.shard.fanouts = {5, 5};
+  ComposedTier tier(dataset, partition, cfg);
+  tier.publish(v1);
+  tier.start();
+  (void)tier.infer_batch(vertices);  // traffic on v1, then swap under load
+  tier.publish(v2);
+  EXPECT_EQ(tier.version(), 2u);
+  for (int r = 0; r < tier.num_replicas(); ++r)
+    EXPECT_EQ(tier.group().replica(r).snapshot()->version(), 2u) << "replica " << r;
+
+  const auto results = tier.infer_batch(vertices);
+  tier.stop();
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    ASSERT_TRUE(results[i].has_value());
+    EXPECT_EQ(results[i]->snapshot_version, 2u);
+    // The broadcast rebuilt replica 1's model from the flat payload; answers
+    // must still be bitwise those of the original v2 weights.
+    EXPECT_EQ(results[i]->logits, expect_v2[i]) << "request " << i;
+  }
+  EXPECT_EQ(tier.group().publishes(), 2u);
+}
+
+TEST(ComposedTier, StatsAggregateAcrossTheGrid) {
+  const Dataset dataset = make_composed_dataset();
+  const auto snapshot = ModelSnapshot::random(sage_spec(dataset), /*seed=*/31, /*version=*/1);
+  const EdgePartition partition = partition_libra(dataset.graph.coo(), 2);
+  ComposedConfig cfg;
+  cfg.replicas = 2;
+  cfg.shard.max_batch = 4;
+  cfg.shard.fanouts = {5, 5};
+  ComposedTier tier(dataset, partition, cfg);
+  tier.publish(snapshot);
+  tier.start();
+  const std::vector<vid_t> vertices = probe_vertices(dataset, 32, 13);
+  (void)tier.infer_batch(vertices);
+  tier.drain();  // quiesce: per-rank counters flush after the done callbacks
+  const BackendStats stats = tier.stats();
+  tier.stop();
+
+  EXPECT_EQ(stats.completed, vertices.size());
+  ASSERT_EQ(stats.children.size(), 2u);             // replicas
+  ASSERT_EQ(stats.children[0].children.size(), 2u); // ranks within a replica
+  EXPECT_EQ(stats.children[0].completed + stats.children[1].completed, vertices.size());
+  EXPECT_EQ(tier.concurrency(), 4);  // R x P serving loops
+}
+
+// --------------------------------------------- heterogeneous backend mixes
+
+/// Minimal out-of-library backend: one worker thread, configurable service
+/// time, logits = {vertex}. Exists to prove the Router needs nothing beyond
+/// the ServingBackend contract — and, via set_paused(), to act as a backend
+/// whose queue verifiably never drains, so routing tests stay deterministic
+/// under arbitrary scheduler behaviour.
+class FakeBackend : public ServingBackend {
+ public:
+  FakeBackend(const Dataset& dataset, std::chrono::microseconds service_time)
+      : dataset_(dataset), service_(service_time) {}
+  ~FakeBackend() override { stop(); }
+
+  void publish(std::shared_ptr<const ModelSnapshot> snapshot) override {
+    snapshot_ = std::move(snapshot);
+  }
+  std::shared_ptr<const ModelSnapshot> snapshot() const override { return snapshot_; }
+
+  void start() override {
+    if (running_) return;
+    stopped_ = false;
+    running_ = true;
+    worker_ = std::thread([this] { loop(); });
+  }
+  void stop() override {
+    if (!running_) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopped_ = true;
+      paused_ = false;  // stop drains whatever is queued
+    }
+    cv_.notify_all();
+    worker_.join();
+    running_ = false;
+  }
+
+  /// While paused the worker holds off, so queue_depth() only ever grows —
+  /// the deterministic "overloaded member" for routing-policy tests.
+  void set_paused(bool paused) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      paused_ = paused;
+    }
+    cv_.notify_all();
+  }
+
+  using ServingBackend::submit;
+  bool submit(vid_t vertex, ServeClock::time_point, Priority,
+              std::function<void(InferResult&&)> done) override {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopped_) return false;
+      queue_.push_back({vertex, std::move(done)});
+    }
+    admitted_.fetch_add(1);
+    cv_.notify_one();
+    return true;
+  }
+
+  std::size_t queue_depth() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+  void drain() override {
+    while (completed_.load() < admitted_.load())
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  double mean_service_seconds() const override {
+    return std::chrono::duration<double>(service_).count();
+  }
+  int concurrency() const override { return 1; }
+  const Dataset& dataset() const override { return dataset_; }
+  BackendStats stats() const override {
+    BackendStats s;
+    s.completed = completed_.load();
+    s.queue_depth = queue_depth();
+    return s;
+  }
+
+ private:
+  struct Pending {
+    vid_t vertex;
+    std::function<void(InferResult&&)> done;
+  };
+  void loop() {
+    while (true) {
+      Pending next;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return stopped_ || (!paused_ && !queue_.empty()); });
+        if (queue_.empty() && stopped_) return;  // stopped and drained
+        if (queue_.empty()) continue;
+        next = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      std::this_thread::sleep_for(service_);
+      InferResult result;
+      result.vertex = next.vertex;
+      result.logits = {static_cast<real_t>(next.vertex)};
+      if (next.done) next.done(std::move(result));
+      completed_.fetch_add(1);
+    }
+  }
+
+  const Dataset& dataset_;
+  std::chrono::microseconds service_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopped_ = false;
+  bool paused_ = false;
+  bool running_ = false;
+  std::thread worker_;
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+};
+
+TEST(Router, PowerOfTwoAvoidsTheSlowBackendInAHeterogeneousMix) {
+  const Dataset dataset = make_composed_dataset();
+  // Replica 1 is paused — its queue only ever grows — while the submitter
+  // waits for replica 0's queue to drain between requests. Every p2c
+  // decision therefore compares depth 0 (fast) against the slow member's
+  // accumulated backlog, deterministically under any scheduler: the only
+  // requests the slow member receives are the draws-with-replacement where
+  // *both* p2c samples land on it (~1/4) plus initial ties.
+  FakeBackend* members[2] = {nullptr, nullptr};
+  ReplicaGroup group(dataset, /*num_replicas=*/2, [&](int replica) {
+    auto backend = std::make_unique<FakeBackend>(dataset, std::chrono::microseconds(100));
+    members[replica] = backend.get();
+    return backend;
+  });
+  group.publish(ModelSnapshot::random(sage_spec(dataset), 1, 1));
+  group.start();
+  members[1]->set_paused(true);
+  Router router(group, RoutePolicy::kPowerOfTwo);
+
+  std::atomic<int> done{0};
+  const int total = 80;
+  for (int i = 0; i < total; ++i) {
+    ASSERT_TRUE(router.submit(static_cast<vid_t>(i % dataset.num_vertices()),
+                              [&](InferResult&&) { done.fetch_add(1); }));
+    while (members[0]->queue_depth() > 0) std::this_thread::yield();
+  }
+  members[1]->set_paused(false);  // release the backlog so everything answers
+  while (done.load() < total) std::this_thread::yield();
+  group.stop();
+
+  const RouterStats stats = router.stats();
+  ASSERT_EQ(stats.admitted_per_replica.size(), 2u);
+  EXPECT_EQ(stats.admitted_per_replica[0] + stats.admitted_per_replica[1],
+            static_cast<std::uint64_t>(total));
+  // Not a 50/50 split: the fast backend must carry a clear majority.
+  EXPECT_GT(stats.admitted_per_replica[0], 2 * stats.admitted_per_replica[1]);
+}
+
+TEST(ReplicaGroup, ActsAsAPlainServingBackendWithRoundRobinPlacement) {
+  const Dataset dataset = make_composed_dataset();
+  const auto snapshot = ModelSnapshot::random(sage_spec(dataset), /*seed=*/31, /*version=*/1);
+  const std::vector<vid_t> vertices = probe_vertices(dataset, 20, 11);
+  const auto expected = single_server_reference(dataset, snapshot, vertices);
+
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  cfg.max_batch = 4;
+  cfg.fanouts = {5, 5};
+  ReplicaGroup group(dataset, cfg, /*num_replicas=*/3);
+  group.publish(snapshot);
+  group.start();
+
+  ServingBackend& backend = group;  // no Router: the group's own placement
+  EXPECT_EQ(backend.infer_sync(vertices[0]).logits, expected[0]);
+  const auto results = backend.infer_batch(vertices);
+  backend.drain();
+  const BackendStats stats = backend.stats();
+  group.stop();
+
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    ASSERT_TRUE(results[i].has_value());
+    EXPECT_EQ(results[i]->logits, expected[i]) << "request " << i;
+  }
+  EXPECT_EQ(stats.completed, vertices.size() + 1);  // + the infer_sync
+  ASSERT_EQ(stats.children.size(), 3u);
+  // Round-robin placement touched every member.
+  for (const BackendStats& child : stats.children) EXPECT_GT(child.completed, 0u);
+}
+
+// -------------------------------------------------- SnapshotHolder hooks
+
+TEST(SnapshotHolder, SetOnPublishReplacesAndClearsTheHook) {
+  const Dataset dataset = make_composed_dataset();
+  const ModelSpec spec = sage_spec(dataset);
+  SnapshotHolder holder;
+
+  int a_calls = 0, b_calls = 0;
+  std::uint64_t last_version = 0;
+  holder.set_on_publish([&](std::uint64_t v) {
+    ++a_calls;
+    last_version = v;
+  });
+  holder.publish(ModelSnapshot::random(spec, 1, /*version=*/7));
+  EXPECT_EQ(a_calls, 1);
+  EXPECT_EQ(last_version, 7u);
+
+  // Re-registration replaces: only the new hook fires from now on.
+  holder.set_on_publish([&](std::uint64_t v) {
+    ++b_calls;
+    last_version = v;
+  });
+  holder.publish(ModelSnapshot::random(spec, 2, /*version=*/8));
+  EXPECT_EQ(a_calls, 1);
+  EXPECT_EQ(b_calls, 1);
+  EXPECT_EQ(last_version, 8u);
+
+  // Clearing (null hook) disables notification without breaking publish.
+  holder.set_on_publish(nullptr);
+  holder.publish(ModelSnapshot::random(spec, 3, /*version=*/9));
+  EXPECT_EQ(a_calls, 1);
+  EXPECT_EQ(b_calls, 1);
+  EXPECT_EQ(holder.get()->version(), 9u);
+  EXPECT_EQ(holder.num_publishes(), 3u);
+}
+
+// ------------------------------------------------------ queue primitives
+
+TEST(BoundedRequestQueue, TryPopBatchNeverBlocksAndTakesWhatIsThere) {
+  BoundedRequestQueue queue(8);
+  EXPECT_TRUE(queue.try_pop_batch(4).empty());  // empty queue: no block
+
+  for (int i = 0; i < 3; ++i) {
+    InferRequest request;
+    request.vertex = i;
+    ASSERT_TRUE(queue.try_push(std::move(request)));
+  }
+  EXPECT_EQ(queue.try_pop_batch(2).size(), 2u);  // capped by max_batch
+  EXPECT_EQ(queue.try_pop_batch(4).size(), 1u);  // takes the remainder
+  EXPECT_TRUE(queue.try_pop_batch(4).empty());
+}
+
+}  // namespace
+}  // namespace distgnn

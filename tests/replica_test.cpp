@@ -485,10 +485,10 @@ TEST(ReplicaGroup, AggregatedStatsCountServiceTimeAndCompletions) {
   (void)router.infer_batch(vertices);
   group.stop();
 
-  const GroupStats stats = group.stats();
+  const BackendStats stats = group.stats();
   EXPECT_EQ(stats.completed, vertices.size());
-  EXPECT_EQ(stats.per_replica.size(), 2u);
-  for (const ServerStats& s : stats.per_replica) {
+  EXPECT_EQ(stats.children.size(), 2u);
+  for (const BackendStats& s : stats.children) {
     EXPECT_GT(s.service_seconds, 0.0);
     EXPECT_GT(s.mean_service_seconds(), 0.0);
     EXPECT_EQ(s.queue_depth, 0u);  // drained

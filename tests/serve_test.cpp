@@ -526,8 +526,8 @@ TEST(ShardedServing, TwoRanksMatchSingleProcessBitwise) {
     EXPECT_EQ(report.results[i].logits, expected[i]) << "request " << i;
   }
   // The vertex-cut really split the workload and the halo path really ran.
-  EXPECT_GT(report.per_rank[0].served, 0u);
-  EXPECT_GT(report.per_rank[1].served, 0u);
+  EXPECT_GT(report.per_rank[0].completed, 0u);
+  EXPECT_GT(report.per_rank[1].completed, 0u);
   EXPECT_GT(report.total_halo_rows(), 0u);
 }
 
@@ -548,7 +548,7 @@ TEST(ShardedServing, PrefetchMatchesSynchronousBitwiseAndWaits) {
 
   World world(2);
   const ShardedServeReport sync = serve_sharded(world, dataset, partition, snapshot, requests, cfg);
-  cfg.prefetch = true;
+  cfg.prefetch_depth = 2;  // the classic double buffer
   const ShardedServeReport pre = serve_sharded(world, dataset, partition, snapshot, requests, cfg);
 
   ASSERT_EQ(pre.results.size(), sync.results.size());
