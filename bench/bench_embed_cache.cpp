@@ -19,7 +19,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench_serving_common.hpp"
@@ -123,13 +125,25 @@ void run_sharded_halo(benchmark::State& state, int prefetch_depth) {
   cfg.fanouts = {10, 10};
   cfg.prefetch_depth = prefetch_depth;
 
-  World world(2);
-  ShardedServeReport last;
-  for (auto _ : state) last = serve_sharded(world, f.dataset, partition, f.snapshot, requests, cfg);
+  // Direct long-lived ShardedServer (serve_sharded is deprecated); rebuilt
+  // per iteration so every measurement covers a cold tier like before.
+  BackendStats last;
+  for (auto _ : state) {
+    ShardedServer server(f.dataset, partition, cfg);
+    server.publish(f.snapshot);
+    server.start();
+    for (const vid_t v : requests) {
+      while (!server.submit(v, [](InferResult&&) {}))
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    server.drain();
+    last = server.stats();
+    server.stop();
+  }
 
   state.SetLabel("depth" + std::to_string(prefetch_depth));
   state.counters["halo_wait_us_per_batch"] = last.mean_halo_wait_per_batch() * 1e6;
-  state.counters["halo_rows"] = static_cast<double>(last.total_halo_rows());
+  state.counters["halo_rows"] = static_cast<double>(last.halo_rows_fetched);
   state.counters["served"] = static_cast<double>(requests.size());
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(requests.size()));
 }

@@ -47,7 +47,21 @@ inline void attach_admission_counters(benchmark::State& state, const serve::Rout
   state.counters["shed_deadline"] = static_cast<double>(stats.shed_deadline);
   state.counters["shed_priority"] = static_cast<double>(stats.shed_priority);
   state.counters["shed_queue_full"] = static_cast<double>(stats.shed_queue_full);
+  state.counters["shed_budget"] = static_cast<double>(stats.shed_budget);
   state.counters["admitted"] = static_cast<double>(stats.admitted);
+}
+
+/// Canonical per-tenant counter set: tenant_<id>_qps / _p99_ms from the
+/// tenant's LoadReport plus tenant_<id>_shed_rate from its stats lane. Every
+/// multi-tenant bench emits this one key format, so the CI asserts parse a
+/// single schema.
+inline void attach_tenant_counters(benchmark::State& state, serve::tenant_t tenant,
+                                   const serve::LoadReport& report,
+                                   const serve::TenantCounters& lane) {
+  const std::string prefix = "tenant_" + std::to_string(tenant) + "_";
+  state.counters[prefix + "qps"] = report.qps;
+  state.counters[prefix + "p99_ms"] = report.p99_ms;
+  state.counters[prefix + "shed_rate"] = lane.shed_rate();
 }
 
 /// BENCHMARK_MAIN body with strict flag validation: benchmark::Initialize

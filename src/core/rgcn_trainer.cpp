@@ -51,6 +51,12 @@ RgcnTrainer::RgcnTrainer(const HeteroDataset& dataset, TrainConfig config)
   dscaled_rel_.resize(static_cast<std::size_t>(relations));
 }
 
+std::vector<ParamRef> RgcnTrainer::params() {
+  std::vector<ParamRef> refs;
+  for (RgcnLayer& layer : layers_) layer.collect_params(refs);
+  return refs;
+}
+
 void RgcnTrainer::forward(bool timed, RgcnEpochStats* stats) {
   const auto n = static_cast<std::size_t>(dataset_.num_vertices());
   const int relations = num_relations();

@@ -32,6 +32,15 @@ class RgcnTrainer {
 
   int num_relations() const { return dataset_.graph.num_edge_types(); }
 
+  /// All trainable parameters in layer order (per layer: self weight, self
+  /// bias, then one weight per relation) — the checkpoint order
+  /// serve::ModelSnapshot's kRgcn loader expects.
+  std::vector<ParamRef> params();
+
+  /// Full-graph logits of the most recent forward pass (valid after
+  /// train_epoch() or evaluate()); one row per vertex.
+  ConstMatrixView logits() const { return acts_.back().cview(); }
+
  private:
   void forward(bool timed, RgcnEpochStats* stats);
 

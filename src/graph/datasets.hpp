@@ -24,6 +24,11 @@ struct Dataset {
   std::vector<int> labels;       // |V|
   std::vector<std::uint8_t> train_mask, val_mask, test_mask;  // |V| each
   int num_classes = 0;
+  /// Per-edge relation labels, indexed by edge id (empty for homogeneous
+  /// datasets). Serving a relational model requires these — see
+  /// hetero_to_dataset() in graph/hetero.hpp.
+  std::vector<int> edge_types;
+  int num_edge_types = 0;
 
   vid_t num_vertices() const { return graph.num_vertices(); }
   eid_t num_edges() const { return graph.num_edges(); }

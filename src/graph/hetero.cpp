@@ -99,4 +99,21 @@ HeteroDataset make_hetero_dataset(const HeteroDatasetParams& params) {
   return ds;
 }
 
+Dataset hetero_to_dataset(const HeteroDataset& hetero, std::string name) {
+  Dataset ds;
+  ds.name = std::move(name);
+  // Graph takes the merged edge list by value; edge order (= edge ids) is
+  // preserved, so the per-edge labels below line up with CSR edge_ids().
+  ds.graph = Graph(hetero.graph.edges());
+  ds.features = hetero.features;
+  ds.labels = hetero.labels;
+  ds.train_mask = hetero.train_mask;
+  ds.val_mask = hetero.val_mask;
+  ds.test_mask = hetero.test_mask;
+  ds.num_classes = hetero.num_classes;
+  ds.edge_types = hetero.graph.edge_types();
+  ds.num_edge_types = hetero.graph.num_edge_types();
+  return ds;
+}
+
 }  // namespace distgnn

@@ -9,6 +9,7 @@
 
 #include "graph/coo.hpp"
 #include "graph/csr.hpp"
+#include "graph/datasets.hpp"
 #include "util/matrix.hpp"
 
 namespace distgnn {
@@ -74,5 +75,12 @@ struct HeteroDataset {
 };
 
 HeteroDataset make_hetero_dataset(const HeteroDatasetParams& params);
+
+/// Flattens a heterogeneous dataset into the serving-tier Dataset shape: the
+/// merged (untyped) graph plus per-edge relation labels in `edge_types`.
+/// Edge ids are preserved, so a CSR built from the result indexes the same
+/// labels the HeteroGraph carries — which is what makes RGCN serving
+/// bitwise-comparable to RgcnTrainer's per-relation aggregation.
+Dataset hetero_to_dataset(const HeteroDataset& hetero, std::string name = "hetero");
 
 }  // namespace distgnn

@@ -14,7 +14,8 @@ eid_t MiniBatch::total_sampled_edges() const {
 }
 
 MiniBatch sample_minibatch(const CsrMatrix& in_csr, std::span<const vid_t> seeds,
-                           std::span<const int> fanouts, Rng& rng) {
+                           std::span<const int> fanouts, Rng& rng,
+                           const std::vector<int>* edge_types) {
   MiniBatch mb;
   mb.seeds.assign(seeds.begin(), seeds.end());
 
@@ -22,6 +23,7 @@ MiniBatch sample_minibatch(const CsrMatrix& in_csr, std::span<const vid_t> seeds
   std::vector<SampledBlock> reversed;
   std::vector<vid_t> frontier = mb.seeds;
   std::vector<vid_t> sampled;
+  std::vector<eid_t> sampled_eids;
 
   for (std::size_t hop = 0; hop < fanouts.size(); ++hop) {
     const int fanout = fanouts[fanouts.size() - 1 - hop];  // output-most first
@@ -38,7 +40,14 @@ MiniBatch sample_minibatch(const CsrMatrix& in_csr, std::span<const vid_t> seeds
 
     for (std::size_t i = 0; i < frontier.size(); ++i) {
       sampled.clear();
-      sample_neighbors(in_csr, frontier[i], fanout, rng, sampled);
+      if (edge_types) {
+        sampled_eids.clear();
+        sample_neighbors(in_csr, frontier[i], fanout, rng, sampled, sampled_eids);
+        for (const eid_t e : sampled_eids)
+          block.rel.push_back((*edge_types)[static_cast<std::size_t>(e)]);
+      } else {
+        sample_neighbors(in_csr, frontier[i], fanout, rng, sampled);
+      }
       for (const vid_t u : sampled) {
         auto [it, inserted] = src_index.emplace(u, static_cast<vid_t>(src_vertices.size()));
         if (inserted) src_vertices.push_back(u);

@@ -21,9 +21,19 @@ struct SampledBlock {
   vid_t num_src = 0;
   std::vector<eid_t> row_ptr;  // num_dst + 1
   std::vector<vid_t> col;      // indices into this block's source vertex list
+  /// Per-sampled-edge relation labels, aligned with `col`. Empty unless the
+  /// sampler was given edge types (relational serving).
+  std::vector<int> rel;
 
   std::span<const vid_t> neighbors(vid_t dst) const {
     return {col.data() + row_ptr[static_cast<std::size_t>(dst)],
+            static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(dst) + 1] -
+                                     row_ptr[static_cast<std::size_t>(dst)])};
+  }
+  /// Relation labels for `dst`'s sampled edges (aligned with neighbors(dst)).
+  /// Only valid when `rel` is populated.
+  std::span<const int> relations(vid_t dst) const {
+    return {rel.data() + row_ptr[static_cast<std::size_t>(dst)],
             static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(dst) + 1] -
                                      row_ptr[static_cast<std::size_t>(dst)])};
   }
@@ -39,9 +49,13 @@ struct MiniBatch {
 };
 
 /// fanouts are given input-most first (fanouts[0] = deepest hop), matching
-/// the block order of the result.
+/// the block order of the result. When `edge_types` is set (one label per
+/// original graph edge, indexed by edge id), each block's `rel` is filled
+/// with the sampled edges' relation labels; the RNG stream is identical
+/// either way, so typed and untyped sampling stay bitwise-comparable.
 MiniBatch sample_minibatch(const CsrMatrix& in_csr, std::span<const vid_t> seeds,
-                           std::span<const int> fanouts, Rng& rng);
+                           std::span<const int> fanouts, Rng& rng,
+                           const std::vector<int>* edge_types = nullptr);
 
 /// Splits `vertices` into shuffled batches of `batch_size` (last one ragged).
 std::vector<std::vector<vid_t>> make_batches(std::span<const vid_t> vertices, vid_t batch_size,

@@ -4,6 +4,25 @@
 
 namespace distgnn {
 
+namespace {
+
+// Core of both overloads: draws the sampled slot indices into `chosen` so the
+// callers map them to vertices (and optionally edge ids) identically. The
+// RNG stream depends only on (deg, fanout) — never on whether edge ids were
+// requested.
+void sample_slots(std::int64_t deg, int fanout, Rng& rng, std::vector<std::int64_t>& chosen) {
+  // Floyd's algorithm: k distinct indices from [0, deg) in O(k) expected.
+  chosen.clear();
+  chosen.reserve(static_cast<std::size_t>(fanout));
+  for (std::int64_t j = deg - fanout; j < deg; ++j) {
+    std::int64_t t = static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(j + 1)));
+    if (std::find(chosen.begin(), chosen.end(), t) != chosen.end()) t = j;
+    chosen.push_back(t);
+  }
+}
+
+}  // namespace
+
 void sample_neighbors(const CsrMatrix& in_csr, vid_t v, int fanout, Rng& rng,
                       std::vector<vid_t>& out) {
   const auto nbrs = in_csr.neighbors(v);
@@ -12,16 +31,26 @@ void sample_neighbors(const CsrMatrix& in_csr, vid_t v, int fanout, Rng& rng,
     out.insert(out.end(), nbrs.begin(), nbrs.end());
     return;
   }
-  // Floyd's algorithm: k distinct indices from [0, deg) in O(k) expected.
-  std::vector<vid_t> picked;
-  picked.reserve(static_cast<std::size_t>(fanout));
   std::vector<std::int64_t> chosen;
-  chosen.reserve(static_cast<std::size_t>(fanout));
-  for (std::int64_t j = deg - fanout; j < deg; ++j) {
-    std::int64_t t = static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(j + 1)));
-    if (std::find(chosen.begin(), chosen.end(), t) != chosen.end()) t = j;
-    chosen.push_back(t);
+  sample_slots(deg, fanout, rng, chosen);
+  for (const std::int64_t t : chosen) out.push_back(nbrs[static_cast<std::size_t>(t)]);
+}
+
+void sample_neighbors(const CsrMatrix& in_csr, vid_t v, int fanout, Rng& rng,
+                      std::vector<vid_t>& out, std::vector<eid_t>& edge_ids) {
+  const auto nbrs = in_csr.neighbors(v);
+  const auto eids = in_csr.edge_ids(v);
+  const auto deg = static_cast<std::int64_t>(nbrs.size());
+  if (deg <= fanout) {
+    out.insert(out.end(), nbrs.begin(), nbrs.end());
+    edge_ids.insert(edge_ids.end(), eids.begin(), eids.end());
+    return;
+  }
+  std::vector<std::int64_t> chosen;
+  sample_slots(deg, fanout, rng, chosen);
+  for (const std::int64_t t : chosen) {
     out.push_back(nbrs[static_cast<std::size_t>(t)]);
+    edge_ids.push_back(eids[static_cast<std::size_t>(t)]);
   }
 }
 

@@ -16,4 +16,11 @@ namespace distgnn {
 void sample_neighbors(const CsrMatrix& in_csr, vid_t v, int fanout, Rng& rng,
                       std::vector<vid_t>& out);
 
+/// Same draw, but also records each picked neighbour's original edge id in
+/// `edge_ids` (aligned with the appended vertices). Consumes the exact RNG
+/// stream of the 5-arg overload — callers that sometimes need edge labels
+/// (relational models) and sometimes don't stay bitwise-comparable.
+void sample_neighbors(const CsrMatrix& in_csr, vid_t v, int fanout, Rng& rng,
+                      std::vector<vid_t>& out, std::vector<eid_t>& edge_ids);
+
 }  // namespace distgnn

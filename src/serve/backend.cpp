@@ -10,7 +10,7 @@
 namespace distgnn::serve {
 
 std::vector<std::optional<InferResult>> ServingBackend::infer_batch(
-    std::span<const vid_t> vertices, ServeClock::time_point deadline, Priority priority) {
+    std::span<const vid_t> vertices, const RequestMeta& meta) {
   const std::size_t n = vertices.size();
   std::vector<std::optional<InferResult>> results(n);
   if (n == 0) return results;
@@ -23,7 +23,7 @@ std::vector<std::optional<InferResult>> ServingBackend::infer_batch(
       std::lock_guard<std::mutex> lock(mutex);
       ++pending;
     }
-    const bool ok = submit(vertices[i], deadline, priority, [&, i](InferResult&& result) {
+    const bool ok = submit(vertices[i], meta, [&, i](InferResult&& result) {
       std::lock_guard<std::mutex> lock(mutex);
       results[i] = std::move(result);
       if (--pending == 0) cv.notify_all();

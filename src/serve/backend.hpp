@@ -41,7 +41,24 @@ namespace distgnn::serve {
 /// composite backends aggregate their members' snapshots into the parent
 /// counters and keep the per-member detail in `children` (per replica for a
 /// group, per rank for a sharded server).
+/// Per-tenant slice of a stats snapshot. Leaf backends tally their own
+/// lanes; absorb() merges children's lanes by tenant id, so the per-tenant
+/// dimension is scraped through the same stats tree as everything else.
+struct TenantCounters {
+  tenant_t tenant = kDefaultTenant;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;  // budget sheds + queue bounces, tenant-attributed
+
+  double shed_rate() const {
+    return submitted == 0 ? 0.0 : static_cast<double>(shed) / static_cast<double>(submitted);
+  }
+};
+
 struct BackendStats {
+  /// Human-readable identity of the backend this snapshot describes (a
+  /// registry entry's tenant name, empty for anonymous members).
+  std::string label;
   std::uint64_t completed = 0;
   std::uint64_t rejected = 0;          // bounced off a bounded queue / shed
   std::uint64_t batches = 0;
@@ -62,6 +79,9 @@ struct BackendStats {
   CacheStats halo_cache;     // space 1: remote rows (sharded tier only)
   CacheStats embed_cache;    // layer-output cache (embed-forward mode only)
 
+  /// Per-tenant lanes (merged by tenant id in absorb()).
+  std::vector<TenantCounters> tenants;
+
   /// Per-member detail: replicas of a group, ranks of a sharded server.
   std::vector<BackendStats> children;
 
@@ -76,6 +96,20 @@ struct BackendStats {
   }
   double mean_halo_wait_per_batch() const {
     return batches == 0 ? 0.0 : halo_wait_seconds / static_cast<double>(batches);
+  }
+
+  /// Find-or-insert the lane for `tenant` (lanes stay sorted by insertion —
+  /// registries insert in id order, so index == id in practice).
+  TenantCounters& tenant_lane(tenant_t tenant) {
+    for (TenantCounters& lane : tenants)
+      if (lane.tenant == tenant) return lane;
+    tenants.push_back(TenantCounters{tenant, 0, 0, 0});
+    return tenants.back();
+  }
+  const TenantCounters* find_tenant(tenant_t tenant) const {
+    for (const TenantCounters& lane : tenants)
+      if (lane.tenant == tenant) return &lane;
+    return nullptr;
   }
 
   /// Folds a member's counters into this snapshot and records it as a child.
@@ -95,6 +129,12 @@ struct BackendStats {
     feature_cache += child.feature_cache;
     halo_cache += child.halo_cache;
     embed_cache += child.embed_cache;
+    for (const TenantCounters& lane : child.tenants) {
+      TenantCounters& mine = tenant_lane(lane.tenant);
+      mine.submitted += lane.submitted;
+      mine.completed += lane.completed;
+      mine.shed += lane.shed;
+    }
     children.push_back(std::move(child));
   }
 };
@@ -114,15 +154,23 @@ class ServingBackend {
   /// Closes admission, drains pending requests, joins workers. Idempotent.
   virtual void stop() = 0;
 
-  /// Asynchronous submission with admission metadata; `done` runs on a
-  /// worker thread. Returns false (and counts a rejection) when the request
-  /// could not be admitted — bounded queue full, or shed by an admission
-  /// policy layered into the backend. Backends themselves never drop an
-  /// admitted request on deadline; late answers keep the bitwise contract.
-  virtual bool submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+  /// Asynchronous submission; `done` runs on a worker thread. `meta`
+  /// carries the request's admission metadata (deadline, priority, tenant)
+  /// end-to-end — the tenant id survives into the InferResult and the
+  /// per-tenant stats lanes. Returns false (and counts a rejection) when
+  /// the request could not be admitted — bounded queue full, or shed by an
+  /// admission policy layered into the backend. Backends themselves never
+  /// drop an admitted request on deadline; late answers keep the bitwise
+  /// contract.
+  virtual bool submit(vid_t vertex, const RequestMeta& meta,
                       std::function<void(InferResult&&)> done) = 0;
   bool submit(vid_t vertex, std::function<void(InferResult&&)> done) {
-    return submit(vertex, ServeClock::time_point::max(), Priority::kHigh, std::move(done));
+    return submit(vertex, RequestMeta{}, std::move(done));
+  }
+  /// Pre-tenancy spelling, kept as a non-virtual alias for one release.
+  bool submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+              std::function<void(InferResult&&)> done) {
+    return submit(vertex, RequestMeta{deadline, priority, kDefaultTenant}, std::move(done));
   }
 
   /// Blocking batch: one entry per vertex, nullopt where the request was not
@@ -130,10 +178,15 @@ class ServingBackend {
   /// submit() and waits; composite backends override to pin the whole batch
   /// to one admission epoch (no answer mixes snapshot versions).
   virtual std::vector<std::optional<InferResult>> infer_batch(std::span<const vid_t> vertices,
-                                                              ServeClock::time_point deadline,
-                                                              Priority priority);
+                                                              const RequestMeta& meta);
   std::vector<std::optional<InferResult>> infer_batch(std::span<const vid_t> vertices) {
-    return infer_batch(vertices, ServeClock::time_point::max(), Priority::kHigh);
+    return infer_batch(vertices, RequestMeta{});
+  }
+  /// Pre-tenancy spelling, kept as a non-virtual alias for one release.
+  std::vector<std::optional<InferResult>> infer_batch(std::span<const vid_t> vertices,
+                                                      ServeClock::time_point deadline,
+                                                      Priority priority) {
+    return infer_batch(vertices, RequestMeta{deadline, priority, kDefaultTenant});
   }
 
   /// Blocking convenience wrapper for closed-loop clients and tests. The

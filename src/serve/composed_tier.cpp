@@ -15,23 +15,26 @@ void ComposedTier::publish(std::shared_ptr<const ModelSnapshot> snapshot) {
   group_.publish_broadcast(std::move(snapshot));
 }
 
-bool ComposedTier::submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+bool ComposedTier::submit(vid_t vertex, const RequestMeta& meta,
                           std::function<void(InferResult&&)> done) {
-  return router_.submit(vertex, deadline, priority, std::move(done));
+  return router_.submit(vertex, meta, std::move(done));
 }
 
 std::vector<std::optional<InferResult>> ComposedTier::infer_batch(
-    std::span<const vid_t> vertices, ServeClock::time_point deadline, Priority priority) {
-  return router_.infer_batch(vertices, deadline, priority);
+    std::span<const vid_t> vertices, const RequestMeta& meta) {
+  return router_.infer_batch(vertices, meta);
 }
 
 BackendStats ComposedTier::stats() const {
   BackendStats s = group_.stats();
   // The Router sheds before any replica queue sees the request; fold those
   // into the unified rejected counter so the composed tier reports one
-  // admission picture.
+  // admission picture. In tenant mode the Router's per-tenant lanes are the
+  // authoritative accounting (the backends only ever see admitted traffic),
+  // so they replace the leaves' view rather than merging with it.
   const RouterStats routed = router_.stats();
-  s.rejected += routed.shed_deadline + routed.shed_priority;
+  s.rejected += routed.shed_deadline + routed.shed_priority + routed.shed_budget;
+  if (!routed.tenants.empty()) s.tenants = routed.tenants;
   return s;
 }
 

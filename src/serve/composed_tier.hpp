@@ -67,15 +67,14 @@ class ComposedTier : public ServingBackend {
 
   using ServingBackend::submit;
   /// Routed + admission-controlled submission: false means the request was
-  /// shed (deadline unmeetable, priority lane, or queue full) — exactly the
-  /// Router contract the flat replicated tier exposes.
-  bool submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+  /// shed (budget empty, deadline unmeetable, priority lane, or queue full)
+  /// — exactly the Router contract the flat replicated tier exposes.
+  bool submit(vid_t vertex, const RequestMeta& meta,
               std::function<void(InferResult&&)> done) override;
   using ServingBackend::infer_batch;
   /// Whole batch under one admission epoch (single snapshot version).
   std::vector<std::optional<InferResult>> infer_batch(std::span<const vid_t> vertices,
-                                                      ServeClock::time_point deadline,
-                                                      Priority priority) override;
+                                                      const RequestMeta& meta) override;
 
   std::size_t queue_depth() const override { return group_.queue_depth(); }
   void drain() override { group_.drain(); }

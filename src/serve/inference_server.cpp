@@ -42,6 +42,14 @@ void InferenceServer::publish(std::shared_ptr<const ModelSnapshot> snapshot) {
     throw std::invalid_argument("InferenceServer: fanouts depth != model layers");
   if (spec.feature_dim != dataset_.feature_dim())
     throw std::invalid_argument("InferenceServer: snapshot feature_dim != dataset");
+  if (spec.kind == ModelKind::kRgcn) {
+    // Relational models need typed edges: the dataset must carry a per-edge
+    // relation label matching the snapshot's relation count.
+    if (dataset_.num_edge_types != spec.num_relations)
+      throw std::invalid_argument("InferenceServer: snapshot num_relations != dataset edge types");
+    if (config_.embed_forward)
+      throw std::invalid_argument("InferenceServer: embed_forward does not support RGCN");
+  }
   if (config_.embed_forward && config_.embed_cache_bytes > 0) {
     std::lock_guard<std::mutex> lock(embed_mutex_);
     if (!embed_cache_) {
@@ -79,7 +87,7 @@ void InferenceServer::stop() {
   running_.store(false, std::memory_order_release);
 }
 
-bool InferenceServer::submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+bool InferenceServer::submit(vid_t vertex, const RequestMeta& meta,
                              std::function<void(InferResult&&)> done) {
   if (vertex < 0 || vertex >= dataset_.num_vertices())
     throw std::out_of_range("InferenceServer: vertex id out of range");
@@ -87,15 +95,20 @@ bool InferenceServer::submit(vid_t vertex, ServeClock::time_point deadline, Prio
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   request.vertex = vertex;
   request.enqueue = ServeClock::now();
-  request.deadline = deadline;
-  request.priority = priority;
+  request.deadline = meta.deadline;
+  request.priority = meta.priority;
+  request.tenant = meta.tenant;
   request.done = std::move(done);
   // Admitted is counted before the push so a drain() that starts after this
   // submit returns can never miss the request (the rejection path undoes it).
   admitted_.fetch_add(1, std::memory_order_release);
-  if (queue_.try_push(std::move(request))) return true;
+  if (queue_.try_push(std::move(request))) {
+    tenant_submitted(meta.tenant, /*admitted=*/true);
+    return true;
+  }
   admitted_.fetch_sub(1, std::memory_order_release);
   rejected_.fetch_add(1, std::memory_order_relaxed);
+  tenant_submitted(meta.tenant, /*admitted=*/false);
   return false;
 }
 
@@ -112,7 +125,29 @@ InferResult InferenceServer::infer_sync(vid_t vertex) {
     admitted_.fetch_sub(1, std::memory_order_release);
     throw std::runtime_error("InferenceServer: infer_sync on a stopped server");
   }
+  tenant_submitted(kDefaultTenant, /*admitted=*/true);
   return future.get();
+}
+
+void InferenceServer::tenant_submitted(tenant_t tenant, bool admitted) {
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  for (TenantCounters& lane : tenant_lanes_) {
+    if (lane.tenant != tenant) continue;
+    ++lane.submitted;
+    if (!admitted) ++lane.shed;
+    return;
+  }
+  tenant_lanes_.push_back(TenantCounters{tenant, 1, 0, admitted ? 0ull : 1ull});
+}
+
+void InferenceServer::tenant_completed(tenant_t tenant) {
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  for (TenantCounters& lane : tenant_lanes_) {
+    if (lane.tenant != tenant) continue;
+    ++lane.completed;
+    return;
+  }
+  tenant_lanes_.push_back(TenantCounters{tenant, 0, 1, 0});
 }
 
 void InferenceServer::drain() {
@@ -166,10 +201,15 @@ void InferenceServer::process_batch(std::vector<InferRequest>&& batch, ForwardSc
   // serving, while the GEMMs and the feature gather run once per batch.
   minibatches.clear();
   std::size_t input_rows = 0;
+  // Relational snapshots need each sampled edge's relation label; the typed
+  // sampler draws the identical RNG stream, so SAGE/GAT answers are
+  // unaffected by the dataset carrying edge types.
+  const std::vector<int>* edge_types =
+      snapshot->spec().kind == ModelKind::kRgcn ? &dataset_.edge_types : nullptr;
   for (const InferRequest& request : batch) {
     Rng rng = request_rng(config_.sample_seed, request.vertex);
     const vid_t seed[1] = {request.vertex};
-    minibatches.push_back(sample_minibatch(in_csr, seed, config_.fanouts, rng));
+    minibatches.push_back(sample_minibatch(in_csr, seed, config_.fanouts, rng, edge_types));
     input_rows += minibatches.back().input_vertices.size();
   }
 
@@ -212,7 +252,9 @@ void InferenceServer::finish_batch(std::vector<InferRequest>& batch, const Dense
     result.logits.assign(logits.row(r), logits.row(r) + logits.cols());
     result.latency_seconds = std::chrono::duration<double>(now - batch[r].enqueue).count();
     result.snapshot_version = snapshot_version;
+    result.tenant = batch[r].tenant;
     if (batch[r].done) batch[r].done(std::move(result));
+    tenant_completed(batch[r].tenant);
   }
 
   service_ns_.fetch_add(
@@ -248,6 +290,10 @@ BackendStats InferenceServer::stats() const {
   s.service_seconds = static_cast<double>(service_ns_.load(std::memory_order_relaxed)) * 1e-9;
   s.queue_depth = queue_.size();
   s.publishes = holder_.num_publishes();
+  {
+    std::lock_guard<std::mutex> lock(tenants_mutex_);
+    s.tenants = tenant_lanes_;
+  }
   s.feature_cache = cache_.stats(/*space=*/0);
   if (const EmbedCache* cache = embed_cache_ptr()) s.embed_cache = cache->combined_stats();
   return s;

@@ -23,35 +23,17 @@
 #include "serve/feature_cache.hpp"
 #include "serve/model_snapshot.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/tier_config.hpp"
 #include "util/rng.hpp"
 
 namespace distgnn::serve {
 
-struct ServeConfig {
+/// Single-process server config: the shared tier knobs (batching, fanouts,
+/// caches, sampling seed, embed mode — see serve/tier_config.hpp) plus the
+/// worker-pool width. Field names are unchanged from the pre-TierConfig
+/// struct, so existing initialization code is untouched.
+struct ServeConfig : TierConfig {
   int num_workers = 2;
-  int max_batch = 8;
-  std::chrono::microseconds max_batch_delay{200};
-  std::size_t queue_capacity = 1024;
-  std::vector<int> fanouts = {10, 10};  // input-most first; size == model layers
-  std::uint64_t cache_bytes = 8ull << 20;
-  int cache_shards = 8;
-  /// Per-request sampling is seeded mix(sample_seed, vertex); the sharded
-  /// server uses the same mix, which is what makes single-process and
-  /// sharded answers comparable bit for bit.
-  std::uint64_t sample_seed = 1;
-
-  /// Embedding-cached serving: when true, requests run through EmbedForward
-  /// (canonical per-(vertex, layer) sampling) and freshly computed layer
-  /// outputs are memoized in an EmbedCache keyed by (vertex, layer, snapshot
-  /// version), so hot vertices short-circuit their whole sampled subtree.
-  /// Answers are bitwise-stable across cache state (on/off/hit/miss) but use
-  /// a different sampling stream than the classic path, so the two modes are
-  /// not bitwise-comparable to each other.
-  bool embed_forward = false;
-  /// Embedding-cache capacity, split over layers (0 = run EmbedForward with
-  /// no cache — the A/B baseline the embed-cache bench compares against).
-  std::uint64_t embed_cache_bytes = 32ull << 20;
-  int embed_cache_shards = 8;
 };
 
 /// Single-server stats are the leaf case of the unified BackendStats shape
@@ -86,7 +68,9 @@ class InferenceServer : public ServingBackend {
   /// Submission with admission-control metadata (router path). Returns false
   /// (and counts a rejection) when the bounded queue is full. The server
   /// itself never drops on deadline — that decision belongs to the router.
-  bool submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+  /// The request's tenant id rides along into the InferResult and the
+  /// per-tenant stats lanes.
+  bool submit(vid_t vertex, const RequestMeta& meta,
               std::function<void(InferResult&&)> done) override;
   /// Blocking convenience wrapper for closed-loop clients and tests; blocks
   /// on the bounded queue (backpressure) and throws on a stopped server.
@@ -133,6 +117,14 @@ class InferenceServer : public ServingBackend {
   std::unique_ptr<EmbedCache> embed_cache_;
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
+
+  /// Per-tenant submitted/completed/shed tallies; guarded by tenants_mutex_
+  /// (touched once per request on the admission path and once per request at
+  /// completion — cheap next to sampling + forward).
+  mutable std::mutex tenants_mutex_;
+  std::vector<TenantCounters> tenant_lanes_;
+  void tenant_submitted(tenant_t tenant, bool admitted);
+  void tenant_completed(tenant_t tenant);
 
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::uint64_t> rejected_{0};

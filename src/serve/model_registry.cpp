@@ -1,0 +1,250 @@
+#include "serve/model_registry.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <stdexcept>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace distgnn::serve {
+
+ModelRegistry::Entry& ModelRegistry::entry(tenant_t tenant) {
+  if (tenant < 0 || static_cast<std::size_t>(tenant) >= entries_.size())
+    throw std::out_of_range("ModelRegistry: unknown tenant id");
+  return *entries_[static_cast<std::size_t>(tenant)];
+}
+
+const ModelRegistry::Entry& ModelRegistry::entry(tenant_t tenant) const {
+  if (tenant < 0 || static_cast<std::size_t>(tenant) >= entries_.size())
+    throw std::out_of_range("ModelRegistry: unknown tenant id");
+  return *entries_[static_cast<std::size_t>(tenant)];
+}
+
+tenant_t ModelRegistry::add(TenantSlo slo, std::unique_ptr<ServingBackend> backend) {
+  if (!backend) throw std::invalid_argument("ModelRegistry: null backend");
+  if (slo.name.empty()) throw std::invalid_argument("ModelRegistry: tenant needs a name");
+  if (find(slo.name)) throw std::invalid_argument("ModelRegistry: duplicate name " + slo.name);
+  auto e = std::make_unique<Entry>();
+  e->bucket = TokenBucket(slo.rate_limit, slo.burst);
+  e->slo = std::move(slo);
+  e->backend = std::move(backend);
+  if (started_) e->backend->start();
+  entries_.push_back(std::move(e));
+  return static_cast<tenant_t>(entries_.size() - 1);
+}
+
+tenant_t ModelRegistry::add_server(TenantSlo slo, const Dataset& dataset,
+                                   const ServeConfig& config) {
+  return add(std::move(slo), std::make_unique<InferenceServer>(dataset, config));
+}
+
+std::optional<tenant_t> ModelRegistry::find(const std::string& name) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    if (entries_[i]->slo.name == name) return static_cast<tenant_t>(i);
+  return std::nullopt;
+}
+
+void ModelRegistry::publish(tenant_t tenant, std::shared_ptr<const ModelSnapshot> snapshot) {
+  entry(tenant).backend->publish(std::move(snapshot));
+}
+
+void ModelRegistry::start() {
+  if (started_) return;
+  for (auto& e : entries_) e->backend->start();
+  started_ = true;
+}
+
+void ModelRegistry::stop() {
+  if (!started_) return;
+  for (auto& e : entries_) e->backend->stop();
+  started_ = false;
+}
+
+RequestMeta ModelRegistry::make_meta(const Entry& e, tenant_t tenant) const {
+  RequestMeta meta;
+  if (e.slo.deadline_seconds > 0)
+    meta.deadline = ServeClock::now() + std::chrono::duration_cast<ServeClock::duration>(
+                                            std::chrono::duration<double>(e.slo.deadline_seconds));
+  meta.priority = e.slo.priority;
+  meta.tenant = tenant;
+  return meta;
+}
+
+bool ModelRegistry::submit(tenant_t tenant, vid_t vertex,
+                           std::function<void(InferResult&&)> done) {
+  Entry& e = entry(tenant);
+  e.submitted.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(e.admission_mutex);
+    if (!e.bucket.try_take(ServeClock::now())) return false;  // budget shed
+  }
+  const bool ok = e.backend->submit(
+      vertex, make_meta(e, tenant),
+      [&e, user_done = std::move(done)](InferResult&& result) mutable {
+        // Count before the user callback so a blocking caller that wakes
+        // inside it observes its own completion in stats().
+        e.completed.fetch_add(1, std::memory_order_relaxed);
+        if (user_done) user_done(std::move(result));
+      });
+  if (ok) e.admitted.fetch_add(1, std::memory_order_relaxed);
+  return ok;
+}
+
+InferResult ModelRegistry::infer_sync(tenant_t tenant, vid_t vertex) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool ready = false;
+  InferResult out;
+  for (;;) {
+    const bool ok = submit(tenant, vertex, [&](InferResult&& result) {
+      std::lock_guard<std::mutex> lock(mutex);
+      out = std::move(result);
+      ready = true;
+      cv.notify_all();
+    });
+    if (ok) break;
+    if (!entry(tenant).backend->accepting())
+      throw std::runtime_error("ModelRegistry: backend stopped while inferring");
+    // Closed-loop backpressure: a budget shed or full queue means wait, not
+    // fail (the bucket refills continuously).
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return ready; });
+  return out;
+}
+
+std::vector<std::optional<InferResult>> ModelRegistry::infer_batch(
+    tenant_t tenant, std::span<const vid_t> vertices) {
+  Entry& e = entry(tenant);
+  const std::size_t n = vertices.size();
+  e.submitted.fetch_add(n, std::memory_order_relaxed);
+  // Charge the budget up front; the admitted prefix proceeds as one batch
+  // under the backend's admission epoch.
+  std::size_t affordable = 0;
+  {
+    std::lock_guard<std::mutex> lock(e.admission_mutex);
+    const auto now = ServeClock::now();
+    while (affordable < n && e.bucket.try_take(now)) ++affordable;
+  }
+  std::vector<std::optional<InferResult>> results(n);
+  if (affordable == 0) return results;
+  auto answered = e.backend->infer_batch(vertices.first(affordable), make_meta(e, tenant));
+  std::uint64_t got = 0;
+  for (std::size_t i = 0; i < answered.size(); ++i) {
+    if (!answered[i]) continue;
+    results[i] = std::move(answered[i]);
+    ++got;
+  }
+  e.admitted.fetch_add(got, std::memory_order_relaxed);
+  e.completed.fetch_add(got, std::memory_order_relaxed);
+  return results;
+}
+
+BackendStats ModelRegistry::stats() const {
+  BackendStats s;
+  s.label = "registry";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    BackendStats child = entries_[i]->backend->stats();
+    child.label = entries_[i]->slo.name;
+    s.absorb(std::move(child));
+  }
+  // The registry edge is the authoritative per-tenant accounting: backends
+  // only ever see admitted traffic, so their lanes undercount sheds.
+  s.tenants.clear();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = *entries_[i];
+    TenantCounters lane;
+    lane.tenant = static_cast<tenant_t>(i);
+    lane.submitted = e.submitted.load(std::memory_order_relaxed);
+    lane.completed = e.completed.load(std::memory_order_relaxed);
+    const std::uint64_t admitted = e.admitted.load(std::memory_order_relaxed);
+    lane.shed = lane.submitted - admitted;
+    s.tenants.push_back(lane);
+  }
+  return s;
+}
+
+std::vector<LoadReport> run_registry_open_loop(ModelRegistry& registry,
+                                               std::span<const TenantStream> streams) {
+  struct StreamRun {
+    std::vector<double> offsets;
+    std::vector<vid_t> targets;
+    LatencyRecorder latencies;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t accounted = 0;
+    std::uint64_t rejected = 0;
+    double duration = 0;
+    BackendStats before;
+  };
+
+  std::vector<std::unique_ptr<StreamRun>> runs;
+  for (const TenantStream& stream : streams) {
+    auto run = std::make_unique<StreamRun>();
+    run->offsets = generate_arrivals(stream.arrivals, stream.num_requests);
+    const auto num_vertices = static_cast<std::uint64_t>(
+        registry.backend(stream.tenant).dataset().num_vertices());
+    Rng rng(stream.seed);
+    run->targets.reserve(stream.num_requests);
+    for (std::size_t i = 0; i < stream.num_requests; ++i)
+      run->targets.push_back(static_cast<vid_t>(rng.next_below(num_vertices)));
+    run->before = registry.backend(stream.tenant).stats();
+    runs.push_back(std::move(run));
+  }
+
+  // One shared t=0 so the K arrival processes genuinely overlap.
+  const auto begin = ServeClock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t si = 0; si < streams.size(); ++si) {
+    threads.emplace_back([&, si] {
+      const TenantStream& stream = streams[si];
+      StreamRun& run = *runs[si];
+      const auto account = [&](bool was_rejected) {
+        std::lock_guard<std::mutex> lock(run.mutex);
+        if (was_rejected) ++run.rejected;
+        ++run.accounted;
+        if (run.accounted == stream.num_requests) run.cv.notify_all();
+      };
+      for (std::size_t i = 0; i < stream.num_requests; ++i) {
+        std::this_thread::sleep_until(begin + std::chrono::duration<double>(run.offsets[i]));
+        const bool accepted =
+            registry.submit(stream.tenant, run.targets[i], [&](InferResult&& result) {
+              run.latencies.record(result.latency_seconds);
+              account(false);
+            });
+        if (!accepted) account(true);
+      }
+      {
+        std::unique_lock<std::mutex> lock(run.mutex);
+        run.cv.wait(lock, [&] { return run.accounted == stream.num_requests; });
+      }
+      run.duration = std::chrono::duration<double>(ServeClock::now() - begin).count();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::vector<LoadReport> reports;
+  for (std::size_t si = 0; si < streams.size(); ++si) {
+    const TenantStream& stream = streams[si];
+    StreamRun& run = *runs[si];
+    LoadReport report;
+    report.label = registry.slo(stream.tenant).name;
+    report.duration_seconds = run.duration;
+    report.offered = stream.num_requests;
+    report.rejected = run.rejected;
+    report.completed = stream.num_requests - run.rejected;
+    report.qps = run.duration > 0 ? static_cast<double>(report.completed) / run.duration : 0.0;
+    fill_latency_fields(report, run.latencies);
+    const BackendStats after = registry.backend(stream.tenant).stats();
+    const std::uint64_t batches = after.batches - run.before.batches;
+    if (batches > 0)
+      report.mean_batch = static_cast<double>(after.batched_requests - run.before.batched_requests) /
+                          static_cast<double>(batches);
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace distgnn::serve

@@ -56,6 +56,8 @@ std::size_t ModelSpec::out_dim(int layer) const {
 std::shared_ptr<ModelSnapshot> ModelSnapshot::allocate(const ModelSpec& spec,
                                                        std::uint64_t version) {
   if (spec.num_layers < 1) throw std::invalid_argument("ModelSnapshot: num_layers must be >= 1");
+  if (spec.kind == ModelKind::kRgcn && spec.num_relations < 1)
+    throw std::invalid_argument("ModelSnapshot: RGCN spec needs num_relations >= 1");
   auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot(spec, version));
   for (int l = 0; l < spec.num_layers; ++l) {
     LayerWeights lw;
@@ -64,6 +66,11 @@ std::shared_ptr<ModelSnapshot> ModelSnapshot::allocate(const ModelSpec& spec,
     if (spec.kind == ModelKind::kSage) {
       lw.bias = DenseMatrix(1, out);
       lw.relu = l != spec.num_layers - 1;
+    } else if (spec.kind == ModelKind::kRgcn) {
+      lw.bias = DenseMatrix(1, out);
+      lw.relu = l != spec.num_layers - 1;
+      lw.rel_weight.reserve(static_cast<std::size_t>(spec.num_relations));
+      for (int r = 0; r < spec.num_relations; ++r) lw.rel_weight.emplace_back(in, out);
     } else {
       lw.attn_src = DenseMatrix(1, out);
       lw.attn_dst = DenseMatrix(1, out);
@@ -84,6 +91,8 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::random(const ModelSpec& spec
       xavier_uniform(lw.attn_src.view(), lw.weight.cols(), 1, rng);
       xavier_uniform(lw.attn_dst.view(), lw.weight.cols(), 1, rng);
     }
+    for (DenseMatrix& wr : lw.rel_weight)
+      xavier_uniform(wr.view(), wr.rows(), wr.cols(), rng);
   }
   return snap;
 }
@@ -101,6 +110,11 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::from_checkpoint(const ModelS
     refs.push_back({lw.weight.data(), nullptr, lw.weight.size()});
     if (spec.kind == ModelKind::kSage) {
       refs.push_back({lw.bias.data(), nullptr, lw.bias.size()});
+    } else if (spec.kind == ModelKind::kRgcn) {
+      // RgcnLayer::collect_params order: self weight, self bias, then one
+      // weight per relation in ascending relation order.
+      refs.push_back({lw.bias.data(), nullptr, lw.bias.size()});
+      for (DenseMatrix& wr : lw.rel_weight) refs.push_back({wr.data(), nullptr, wr.size()});
     } else {
       refs.push_back({lw.attn_src.data(), nullptr, lw.attn_src.size()});
       refs.push_back({lw.attn_dst.data(), nullptr, lw.attn_dst.size()});
@@ -125,6 +139,9 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::from_flat(const ModelSpec& s
     take(lw.weight);
     if (spec.kind == ModelKind::kSage) {
       take(lw.bias);
+    } else if (spec.kind == ModelKind::kRgcn) {
+      take(lw.bias);
+      for (DenseMatrix& wr : lw.rel_weight) take(wr);
     } else {
       take(lw.attn_src);
       take(lw.attn_dst);
@@ -145,6 +162,9 @@ std::vector<real_t> ModelSnapshot::flatten() const {
     put(lw.weight);
     if (spec_.kind == ModelKind::kSage) {
       put(lw.bias);
+    } else if (spec_.kind == ModelKind::kRgcn) {
+      put(lw.bias);
+      for (const DenseMatrix& wr : lw.rel_weight) put(wr);
     } else {
       put(lw.attn_src);
       put(lw.attn_dst);
@@ -155,8 +175,10 @@ std::vector<real_t> ModelSnapshot::flatten() const {
 
 std::size_t ModelSnapshot::num_parameters() const {
   std::size_t n = 0;
-  for (const LayerWeights& lw : layers_)
+  for (const LayerWeights& lw : layers_) {
     n += lw.weight.size() + lw.bias.size() + lw.attn_src.size() + lw.attn_dst.size();
+    for (const DenseMatrix& wr : lw.rel_weight) n += wr.size();
+  }
   return n;
 }
 
@@ -167,6 +189,10 @@ void ModelSnapshot::save(const std::string& path) const {
     refs.push_back({const_cast<real_t*>(lw.weight.data()), nullptr, lw.weight.size()});
     if (spec_.kind == ModelKind::kSage) {
       refs.push_back({const_cast<real_t*>(lw.bias.data()), nullptr, lw.bias.size()});
+    } else if (spec_.kind == ModelKind::kRgcn) {
+      refs.push_back({const_cast<real_t*>(lw.bias.data()), nullptr, lw.bias.size()});
+      for (const DenseMatrix& wr : lw.rel_weight)
+        refs.push_back({const_cast<real_t*>(wr.data()), nullptr, wr.size()});
     } else {
       refs.push_back({const_cast<real_t*>(lw.attn_src.data()), nullptr, lw.attn_src.size()});
       refs.push_back({const_cast<real_t*>(lw.attn_dst.data()), nullptr, lw.attn_dst.size()});
@@ -191,6 +217,8 @@ void ModelSnapshot::forward_batch(std::span<const MiniBatch> batch, ConstMatrixV
 
   if (spec_.kind == ModelKind::kSage)
     forward_sage(batch, scratch);
+  else if (spec_.kind == ModelKind::kRgcn)
+    forward_rgcn(batch, scratch);
   else
     forward_gat(batch, scratch);
 
@@ -299,6 +327,70 @@ void ModelSnapshot::gat_layer(const LayerWeights& lw, std::size_t num_requests,
   }
 }
 
+template <typename BlockAt>
+void ModelSnapshot::rgcn_layer(const LayerWeights& lw, std::size_t num_requests,
+                               const BlockAt& block_at, ConstMatrixView cur,
+                               ForwardScratch& scratch, DenseMatrix& next) const {
+  const std::size_t d_in = cur.cols;
+  const std::size_t d_out = lw.weight.cols();
+  std::size_t out_rows = 0;
+  for (std::size_t i = 0; i < num_requests; ++i)
+    out_rows += static_cast<std::size_t>(block_at(i).num_dst);
+
+  next.resize_discard(out_rows, d_out);
+  scratch.scores.resize(d_in);  // per-relation aggregate row
+  std::size_t in_off = 0, out_off = 0;
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    const SampledBlock& block = block_at(i);
+    if (block.rel.size() != block.col.size())
+      throw std::invalid_argument("ModelSnapshot: RGCN forward needs relation-labelled blocks");
+    for (vid_t v = 0; v < block.num_dst; ++v) {
+      real_t* y = next.row(out_off + static_cast<std::size_t>(v));
+      // Self transform first — k-ascending GEMM then bias, exactly the
+      // training-side Linear (gemm + add_row_bias) order.
+      const real_t* h = cur.row(in_off + static_cast<std::size_t>(v));
+      for (std::size_t j = 0; j < d_out; ++j) y[j] = 0;
+      for (std::size_t k = 0; k < d_in; ++k) {
+        const real_t a = h[k];
+        const real_t* w = lw.weight.row(k);
+        for (std::size_t j = 0; j < d_out; ++j) y[j] += a * w[j];
+      }
+      for (std::size_t j = 0; j < d_out; ++j) y[j] += lw.bias.at(0, j);
+
+      const auto nbrs = block.neighbors(v);
+      const auto rels = block.relations(v);
+      for (std::size_t r = 0; r < lw.rel_weight.size(); ++r) {
+        // Mean aggregate of this relation's sampled neighbours, in block
+        // (== per-relation CSR) order; at full fanout the count is the
+        // graph's per-relation in-degree, matching the trainer's inv_norm.
+        real_t* s = scratch.scores.data();
+        for (std::size_t j = 0; j < d_in; ++j) s[j] = 0;
+        std::size_t count = 0;
+        for (std::size_t n = 0; n < nbrs.size(); ++n) {
+          if (rels[n] != static_cast<int>(r)) continue;
+          const real_t* su = cur.row(in_off + static_cast<std::size_t>(nbrs[n]));
+          for (std::size_t j = 0; j < d_in; ++j) s[j] += su[j];
+          ++count;
+        }
+        const real_t inv = count > 0 ? 1.0f / static_cast<real_t>(count) : 0.0f;
+        // Accumulate even when the relation is empty: the trainer's
+        // per-relation GEMM runs unconditionally and float += is
+        // sign-sensitive, so skipping would break bitwise equality.
+        const DenseMatrix& wr = lw.rel_weight[r];
+        for (std::size_t k = 0; k < d_in; ++k) {
+          const real_t a = s[k] * inv;
+          const real_t* w = wr.row(k);
+          for (std::size_t j = 0; j < d_out; ++j) y[j] += a * w[j];
+        }
+      }
+      if (lw.relu)
+        for (std::size_t j = 0; j < d_out; ++j) y[j] = y[j] > 0 ? y[j] : 0;
+    }
+    in_off += static_cast<std::size_t>(block.num_src);
+    out_off += static_cast<std::size_t>(block.num_dst);
+  }
+}
+
 void ModelSnapshot::forward_sage(std::span<const MiniBatch> batch, ForwardScratch& scratch) const {
   for (std::size_t l = 0; l < layers_.size(); ++l)
     sage_layer(
@@ -310,6 +402,14 @@ void ModelSnapshot::forward_sage(std::span<const MiniBatch> batch, ForwardScratc
 void ModelSnapshot::forward_gat(std::span<const MiniBatch> batch, ForwardScratch& scratch) const {
   for (std::size_t l = 0; l < layers_.size(); ++l)
     gat_layer(
+        layers_[l], batch.size(),
+        [&](std::size_t i) -> const SampledBlock& { return batch[i].blocks[l]; },
+        scratch.acts[l].cview(), scratch, scratch.acts[l + 1]);
+}
+
+void ModelSnapshot::forward_rgcn(std::span<const MiniBatch> batch, ForwardScratch& scratch) const {
+  for (std::size_t l = 0; l < layers_.size(); ++l)
+    rgcn_layer(
         layers_[l], batch.size(),
         [&](std::size_t i) -> const SampledBlock& { return batch[i].blocks[l]; },
         scratch.acts[l].cview(), scratch, scratch.acts[l + 1]);
@@ -327,6 +427,10 @@ void ModelSnapshot::forward_layer(int layer, std::span<const MiniBatch> batch,
       inputs.cols != spec_.in_dim(layer))
     throw std::invalid_argument("ModelSnapshot::forward_layer: stacked input shape mismatch");
 
+  // RGCN is excluded from the single-layer (embed-cache) path: relation
+  // labels do not survive the per-(vertex, layer) canonical re-sampling.
+  if (spec_.kind == ModelKind::kRgcn)
+    throw std::invalid_argument("ModelSnapshot::forward_layer: RGCN has no embed-forward path");
   const auto block_at = [&](std::size_t i) -> const SampledBlock& { return batch[i].blocks[0]; };
   if (spec_.kind == ModelKind::kSage)
     sage_layer(layers_[static_cast<std::size_t>(layer)], batch.size(), block_at, inputs, scratch,

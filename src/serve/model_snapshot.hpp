@@ -26,7 +26,7 @@
 
 namespace distgnn::serve {
 
-enum class ModelKind { kSage, kGat };
+enum class ModelKind { kSage, kGat, kRgcn };
 
 struct ModelSpec {
   ModelKind kind = ModelKind::kSage;
@@ -35,6 +35,7 @@ struct ModelSpec {
   int num_classes = 0;
   int num_layers = 2;
   float leaky_slope = 0.2f;  // GAT attention LeakyReLU slope
+  int num_relations = 0;     // RGCN: edge-type count (must match the dataset)
 
   std::size_t in_dim(int layer) const;
   std::size_t out_dim(int layer) const;
@@ -106,11 +107,12 @@ class ModelSnapshot {
 
  private:
   struct LayerWeights {
-    DenseMatrix weight;     // in x out
-    DenseMatrix bias;       // 1 x out (SAGE)
+    DenseMatrix weight;     // in x out (RGCN: the self-loop transform)
+    DenseMatrix bias;       // 1 x out (SAGE, RGCN)
     DenseMatrix attn_src;   // 1 x out (GAT)
     DenseMatrix attn_dst;   // 1 x out (GAT)
-    bool relu = false;      // SAGE hidden layers
+    std::vector<DenseMatrix> rel_weight;  // in x out per relation (RGCN)
+    bool relu = false;      // SAGE/RGCN hidden layers
   };
 
   ModelSnapshot(ModelSpec spec, std::uint64_t version) : spec_(spec), version_(version) {}
@@ -121,6 +123,7 @@ class ModelSnapshot {
 
   void forward_sage(std::span<const MiniBatch> batch, ForwardScratch& scratch) const;
   void forward_gat(std::span<const MiniBatch> batch, ForwardScratch& scratch) const;
+  void forward_rgcn(std::span<const MiniBatch> batch, ForwardScratch& scratch) const;
 
   /// Shared per-layer cores: `block_at(i)` yields the i-th request's block
   /// for the layer being applied (blocks[l] in a full forward, blocks[0] in
@@ -133,6 +136,16 @@ class ModelSnapshot {
   template <typename BlockAt>
   void gat_layer(const LayerWeights& lw, std::size_t num_requests, const BlockAt& block_at,
                  ConstMatrixView cur, ForwardScratch& scratch, DenseMatrix& next) const;
+  /// RGCN layer over relation-labelled blocks (block.rel must be filled by
+  /// typed sampling). Matches RgcnLayer op for op: per destination — self
+  /// transform (k-ascending GEMM then bias), then relations in ascending
+  /// order (mean of that relation's sampled neighbours, never skipping empty
+  /// relations), then ReLU on hidden layers. At full fanout the sampled
+  /// per-relation counts equal the graph's per-relation in-degrees, so
+  /// served logits are bitwise those of RgcnTrainer's baseline forward.
+  template <typename BlockAt>
+  void rgcn_layer(const LayerWeights& lw, std::size_t num_requests, const BlockAt& block_at,
+                  ConstMatrixView cur, ForwardScratch& scratch, DenseMatrix& next) const;
 
   ModelSpec spec_;
   std::uint64_t version_ = 0;

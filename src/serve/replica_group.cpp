@@ -80,7 +80,7 @@ int ReplicaGroup::pick_round_robin() {
                           static_cast<std::uint64_t>(replicas_.size()));
 }
 
-bool ReplicaGroup::submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+bool ReplicaGroup::submit(vid_t vertex, const RequestMeta& meta,
                           std::function<void(InferResult&&)> done) {
   if (vertex < 0 || vertex >= dataset_.num_vertices())
     throw std::out_of_range("ReplicaGroup: vertex id out of range");
@@ -88,7 +88,7 @@ bool ReplicaGroup::submit(vid_t vertex, ServeClock::time_point deadline, Priorit
   ServingBackend& target = replica(pick_round_robin());
   bool ok = false;
   try {
-    ok = target.submit(vertex, deadline, priority,
+    ok = target.submit(vertex, meta,
                        [this, user_done = std::move(done)](InferResult&& result) mutable {
                          if (user_done) user_done(std::move(result));
                          end_request();
@@ -102,7 +102,7 @@ bool ReplicaGroup::submit(vid_t vertex, ServeClock::time_point deadline, Priorit
 }
 
 std::vector<std::optional<InferResult>> ReplicaGroup::infer_batch(
-    std::span<const vid_t> vertices, ServeClock::time_point deadline, Priority priority) {
+    std::span<const vid_t> vertices, const RequestMeta& meta) {
   const std::size_t n = vertices.size();
   std::vector<std::optional<InferResult>> results(n);
   if (n == 0) return results;
@@ -121,7 +121,7 @@ std::vector<std::optional<InferResult>> ReplicaGroup::infer_batch(
   for (std::size_t i = 0; i < n; ++i) {
     ServingBackend& target = replica(pick_round_robin());
     const bool ok =
-        target.submit(vertices[i], deadline, priority, [&, i](InferResult&& result) {
+        target.submit(vertices[i], meta, [&, i](InferResult&& result) {
           {
             std::lock_guard<std::mutex> lock(mutex);
             results[i] = std::move(result);

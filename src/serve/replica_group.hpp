@@ -81,14 +81,13 @@ class ReplicaGroup : public ServingBackend {
   /// admission control on top; this is the plain ServingBackend view of the
   /// group). Holds one admission slot for the request's lifetime, so the
   /// publish barrier still covers it.
-  bool submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+  bool submit(vid_t vertex, const RequestMeta& meta,
               std::function<void(InferResult&&)> done) override;
   using ServingBackend::infer_batch;
   /// Whole batch under ONE admission epoch: every answer carries the same
   /// snapshot version.
   std::vector<std::optional<InferResult>> infer_batch(std::span<const vid_t> vertices,
-                                                      ServeClock::time_point deadline,
-                                                      Priority priority) override;
+                                                      const RequestMeta& meta) override;
 
   std::size_t queue_depth() const override;
   void drain() override;

@@ -18,11 +18,10 @@
 #include <mutex>
 #include <vector>
 
+#include "serve/tenant.hpp"
 #include "util/types.hpp"
 
 namespace distgnn::serve {
-
-using ServeClock = std::chrono::steady_clock;
 
 struct InferResult {
   std::uint64_t request_id = 0;
@@ -30,12 +29,8 @@ struct InferResult {
   std::vector<real_t> logits;          // num_classes entries
   double latency_seconds = 0.0;        // submit -> completion
   std::uint64_t snapshot_version = 0;  // which model produced this answer
+  tenant_t tenant = kDefaultTenant;    // echo of the request's tenant lane
 };
-
-/// Two-lane request priority for the admission controller: under pressure
-/// the router sheds kLow work first, so paying (kHigh) traffic keeps its
-/// tail latency through an MMPP burst.
-enum class Priority : std::uint8_t { kHigh = 0, kLow = 1 };
 
 struct InferRequest {
   std::uint64_t id = 0;
@@ -47,6 +42,7 @@ struct InferRequest {
   /// bitwise-equality contract with single-server serving.
   ServeClock::time_point deadline = ServeClock::time_point::max();
   Priority priority = Priority::kHigh;
+  tenant_t tenant = kDefaultTenant;
   std::function<void(InferResult&&)> done;  // invoked exactly once per request
 };
 

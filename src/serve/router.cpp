@@ -1,5 +1,6 @@
 #include "serve/router.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -30,7 +31,7 @@ std::string route_policy_name(RoutePolicy policy) {
 Router::Router(ReplicaGroup& group, RoutePolicy policy, AdmissionConfig admission)
     : group_(group),
       policy_(policy),
-      admission_(admission),
+      admission_(std::move(admission)),
       outstanding_(new std::atomic<std::uint64_t>[static_cast<std::size_t>(group.num_replicas())]),
       admitted_per_replica_(
           new std::atomic<std::uint64_t>[static_cast<std::size_t>(group.num_replicas())]) {
@@ -38,6 +39,15 @@ Router::Router(ReplicaGroup& group, RoutePolicy policy, AdmissionConfig admissio
     outstanding_[static_cast<std::size_t>(r)].store(0, std::memory_order_relaxed);
     admitted_per_replica_[static_cast<std::size_t>(r)].store(0, std::memory_order_relaxed);
   }
+  for (const TenantSlo& slo : admission_.tenants) {
+    TenantLane lane;
+    lane.slo = slo;
+    lane.bucket = TokenBucket(slo.rate_limit, slo.burst);
+    lanes_.push_back(std::move(lane));
+  }
+  window_ = admission_.dispatch_window != 0
+                ? admission_.dispatch_window
+                : 2 * static_cast<std::size_t>(std::max(1, group_.concurrency()));
 }
 
 int Router::pick_replica() {
@@ -75,20 +85,29 @@ int Router::pick_replica() {
 }
 
 bool Router::submit(vid_t vertex, std::function<void(InferResult&&)> done) {
-  return submit(vertex, ServeClock::time_point::max(), Priority::kHigh, std::move(done));
+  return submit(vertex, RequestMeta{}, std::move(done));
 }
 
 bool Router::submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+                    std::function<void(InferResult&&)> done) {
+  return submit(vertex, RequestMeta{deadline, priority, kDefaultTenant}, std::move(done));
+}
+
+bool Router::submit(vid_t vertex, const RequestMeta& meta,
                     std::function<void(InferResult&&)> done) {
   // Validate before reserving an admission slot: a throw after
   // begin_requests would leak the slot and wedge every later publish().
   if (vertex < 0 || vertex >= group_.dataset().num_vertices())
     throw std::out_of_range("Router: vertex id out of range");
+  if (!lanes_.empty() &&
+      (meta.tenant < 0 || static_cast<std::size_t>(meta.tenant) >= lanes_.size()))
+    throw std::out_of_range("Router: unknown tenant id");
   group_.begin_requests(1);
-  return route_one(vertex, deadline, priority, std::move(done));
+  if (lanes_.empty()) return route_one(vertex, meta, std::move(done));
+  return admit_one(vertex, meta, std::move(done));
 }
 
-bool Router::route_one(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+bool Router::route_one(vid_t vertex, const RequestMeta& meta,
                        std::function<void(InferResult&&)> done) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   const int r = pick_replica();
@@ -98,9 +117,9 @@ bool Router::route_one(vid_t vertex, ServeClock::time_point deadline, Priority p
   // work ahead of us spread over the worker pool, plus our own service —
   // lands past the deadline. Estimates come from the replica's own observed
   // service rate, so the controller self-calibrates to the model and host.
-  if (admission_.shed_deadlines && deadline != ServeClock::time_point::max()) {
+  if (admission_.shed_deadlines && meta.deadline != ServeClock::time_point::max()) {
     const auto now = ServeClock::now();
-    if (deadline <= now) {
+    if (meta.deadline <= now) {
       shed_deadline_.fetch_add(1, std::memory_order_relaxed);
       group_.end_request();
       return false;
@@ -114,7 +133,7 @@ bool Router::route_one(vid_t vertex, ServeClock::time_point deadline, Priority p
           mean_service * (depth / workers + 1.0) * admission_.estimate_margin;
       if (now + std::chrono::duration_cast<ServeClock::duration>(
                     std::chrono::duration<double>(estimate)) >
-          deadline) {
+          meta.deadline) {
         shed_deadline_.fetch_add(1, std::memory_order_relaxed);
         group_.end_request();
         return false;
@@ -124,7 +143,7 @@ bool Router::route_one(vid_t vertex, ServeClock::time_point deadline, Priority p
 
   // Priority lane: once the target replica's queue is past the watermark,
   // low-priority work sheds so the burst headroom goes to the high lane.
-  if (priority == Priority::kLow && admission_.low_priority_depth > 0 &&
+  if (meta.priority == Priority::kLow && admission_.low_priority_depth > 0 &&
       replica.queue_depth() >= admission_.low_priority_depth) {
     shed_priority_.fetch_add(1, std::memory_order_relaxed);
     group_.end_request();
@@ -135,7 +154,7 @@ bool Router::route_one(vid_t vertex, ServeClock::time_point deadline, Priority p
   bool ok = false;
   try {
     ok = replica.submit(
-        vertex, deadline, priority,
+        vertex, meta,
         [this, r, user_done = std::move(done)](InferResult&& result) mutable {
           outstanding_[static_cast<std::size_t>(r)].fetch_sub(1, std::memory_order_relaxed);
           completed_.fetch_add(1, std::memory_order_relaxed);
@@ -160,19 +179,149 @@ bool Router::route_one(vid_t vertex, ServeClock::time_point deadline, Priority p
   return true;
 }
 
+bool Router::admit_one(vid_t vertex, RequestMeta meta, std::function<void(InferResult&&)> done) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(stage_mutex_);
+  TenantLane& lane = lanes_[static_cast<std::size_t>(meta.tenant)];
+  ++lane.submitted;
+
+  const auto shed = [&](std::atomic<std::uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+    ++lane.shed;
+    lock.unlock();
+    group_.end_request();
+    return false;
+  };
+
+  // Token-bucket budget first: an over-budget tenant sheds regardless of
+  // system load — that is what keeps its overload out of everyone's queues.
+  const auto now = ServeClock::now();
+  if (!lane.bucket.try_take(now)) return shed(shed_budget_);
+
+  // The tenant's SLO deadline applies when the caller did not set one.
+  if (meta.deadline == ServeClock::time_point::max() && lane.slo.deadline_seconds > 0)
+    meta.deadline = now + std::chrono::duration_cast<ServeClock::duration>(
+                              std::chrono::duration<double>(lane.slo.deadline_seconds));
+
+  // Deadline admission against the whole tier: work ahead of us is
+  // everything staged or in flight, spread over the group's workers.
+  if (admission_.shed_deadlines && meta.deadline != ServeClock::time_point::max()) {
+    if (meta.deadline <= now) return shed(shed_deadline_);
+    const double mean_service = group_.mean_service_seconds();
+    if (mean_service > 0) {
+      const double depth = static_cast<double>(inflight_ + total_staged_);
+      const double workers = static_cast<double>(std::max(1, group_.concurrency()));
+      const double estimate =
+          mean_service * (depth / workers + 1.0) * admission_.estimate_margin;
+      if (now + std::chrono::duration_cast<ServeClock::duration>(
+                    std::chrono::duration<double>(estimate)) >
+          meta.deadline)
+        return shed(shed_deadline_);
+    }
+  }
+
+  if (meta.priority == Priority::kLow && admission_.low_priority_depth > 0 &&
+      inflight_ + total_staged_ >= admission_.low_priority_depth)
+    return shed(shed_priority_);
+
+  if (lane.staged.size() >= lane.slo.stage_capacity) return shed(shed_queue_full_);
+
+  lane.staged.push_back(Staged{vertex, meta, std::move(done)});
+  ++total_staged_;
+  pump_locked();
+  return true;
+}
+
+void Router::pump_locked() {
+  while (inflight_ < window_ && total_staged_ > 0) {
+    // Smooth weighted round-robin over the non-empty lanes: every candidate
+    // gains its weight, the highest accumulator dispatches and pays back the
+    // round's total — served shares converge to the weight ratio without
+    // bursts (nginx's smooth-WRR).
+    TenantLane* best = nullptr;
+    double total = 0;
+    for (TenantLane& lane : lanes_) {
+      if (lane.staged.empty()) continue;
+      lane.wrr_current += lane.slo.weight;
+      total += lane.slo.weight;
+      if (!best || lane.wrr_current > best->wrr_current) best = &lane;
+    }
+    if (!best) return;
+    best->wrr_current -= total;
+
+    Staged st = std::move(best->staged.front());
+    best->staged.pop_front();
+    --total_staged_;
+    const tenant_t tenant = st.meta.tenant;
+    const int r = pick_replica();
+    ServingBackend& replica = group_.replica(r);
+    outstanding_[static_cast<std::size_t>(r)].fetch_add(1, std::memory_order_relaxed);
+    ++inflight_;
+
+    // The callback is recoverable on a failed push (shared_ptr), because
+    // submit() consumes the std::function even when it returns false.
+    auto done_ptr = std::make_shared<std::function<void(InferResult&&)>>(std::move(st.done));
+    bool ok = false;
+    try {
+      ok = replica.submit(
+          st.vertex, st.meta, [this, r, tenant, done_ptr](InferResult&& result) {
+            outstanding_[static_cast<std::size_t>(r)].fetch_sub(1, std::memory_order_relaxed);
+            completed_.fetch_add(1, std::memory_order_relaxed);
+            if (*done_ptr) (*done_ptr)(std::move(result));
+            group_.end_request();
+            std::lock_guard<std::mutex> relock(stage_mutex_);
+            ++lanes_[static_cast<std::size_t>(tenant)].completed;
+            --inflight_;
+            pump_locked();
+          });
+    } catch (...) {
+      ok = false;
+    }
+    if (!ok) {
+      outstanding_[static_cast<std::size_t>(r)].fetch_sub(1, std::memory_order_relaxed);
+      --inflight_;
+      if (inflight_ > 0) {
+        // A completion will re-pump; park the request back at the front so
+        // its lane keeps its weighted-fair position.
+        st.done = std::move(*done_ptr);
+        best->staged.push_front(std::move(st));
+        ++total_staged_;
+      } else {
+        // Progress guarantee: with nothing in flight nobody would re-pump,
+        // so the request sheds. Only reachable when a replica queue is
+        // smaller than the dispatch window.
+        shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+        ++lanes_[static_cast<std::size_t>(tenant)].shed;
+        group_.end_request();
+      }
+      return;
+    }
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    admitted_per_replica_[static_cast<std::size_t>(r)].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 std::vector<std::optional<InferResult>> Router::infer_batch(std::span<const vid_t> vertices) {
-  return infer_batch(vertices, ServeClock::time_point::max(), Priority::kHigh);
+  return infer_batch(vertices, RequestMeta{});
 }
 
 std::vector<std::optional<InferResult>> Router::infer_batch(std::span<const vid_t> vertices,
                                                             ServeClock::time_point deadline,
                                                             Priority priority) {
+  return infer_batch(vertices, RequestMeta{deadline, priority, kDefaultTenant});
+}
+
+std::vector<std::optional<InferResult>> Router::infer_batch(std::span<const vid_t> vertices,
+                                                            const RequestMeta& meta) {
   const std::size_t n = vertices.size();
   std::vector<std::optional<InferResult>> results(n);
   if (n == 0) return results;
   for (const vid_t v : vertices)
     if (v < 0 || v >= group_.dataset().num_vertices())
       throw std::out_of_range("Router: vertex id out of range");
+  if (!lanes_.empty() &&
+      (meta.tenant < 0 || static_cast<std::size_t>(meta.tenant) >= lanes_.size()))
+    throw std::out_of_range("Router: unknown tenant id");
 
   // Reserve the whole batch's admission slots atomically: a group publish
   // now has to wait until every request below completes, so all admitted
@@ -187,11 +336,13 @@ std::vector<std::optional<InferResult>> Router::infer_batch(std::span<const vid_
       std::lock_guard<std::mutex> lock(mutex);
       ++pending;
     }
-    const bool ok = route_one(vertices[i], deadline, priority, [&, i](InferResult&& result) {
+    const auto on_done = [&, i](InferResult&& result) {
       std::lock_guard<std::mutex> lock(mutex);
       results[i] = std::move(result);
       if (--pending == 0) cv.notify_all();
-    });
+    };
+    const bool ok = lanes_.empty() ? route_one(vertices[i], meta, on_done)
+                                   : admit_one(vertices[i], meta, on_done);
     if (!ok) {
       std::lock_guard<std::mutex> lock(mutex);
       if (--pending == 0) cv.notify_all();
@@ -210,12 +361,24 @@ RouterStats RouterStats::since(const RouterStats& base) const {
   d.shed_deadline = shed_deadline - base.shed_deadline;
   d.shed_priority = shed_priority - base.shed_priority;
   d.shed_queue_full = shed_queue_full - base.shed_queue_full;
+  d.shed_budget = shed_budget - base.shed_budget;
   d.admitted_per_replica.resize(admitted_per_replica.size());
   for (std::size_t r = 0; r < admitted_per_replica.size(); ++r)
     d.admitted_per_replica[r] =
         admitted_per_replica[r] - (r < base.admitted_per_replica.size()
                                        ? base.admitted_per_replica[r]
                                        : 0);
+  for (const TenantCounters& lane : tenants) {
+    TenantCounters delta = lane;
+    for (const TenantCounters& b : base.tenants) {
+      if (b.tenant != lane.tenant) continue;
+      delta.submitted -= b.submitted;
+      delta.completed -= b.completed;
+      delta.shed -= b.shed;
+      break;
+    }
+    d.tenants.push_back(delta);
+  }
   return d;
 }
 
@@ -227,10 +390,22 @@ RouterStats Router::stats() const {
   s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
   s.shed_priority = shed_priority_.load(std::memory_order_relaxed);
   s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  s.shed_budget = shed_budget_.load(std::memory_order_relaxed);
   s.admitted_per_replica.resize(static_cast<std::size_t>(group_.num_replicas()));
   for (int r = 0; r < group_.num_replicas(); ++r)
     s.admitted_per_replica[static_cast<std::size_t>(r)] =
         admitted_per_replica_[static_cast<std::size_t>(r)].load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    for (std::size_t t = 0; t < lanes_.size(); ++t) {
+      TenantCounters lane;
+      lane.tenant = static_cast<tenant_t>(t);
+      lane.submitted = lanes_[t].submitted;
+      lane.completed = lanes_[t].completed;
+      lane.shed = lanes_[t].shed;
+      s.tenants.push_back(lane);
+    }
+  }
   return s;
 }
 
@@ -271,11 +446,11 @@ LoadReport run_router_open_loop(Router& router, const RouterLoadConfig& config) 
     std::this_thread::sleep_until(begin + std::chrono::duration<double>(offsets[i]));
     const auto deadline = config.deadline_seconds > 0 ? ServeClock::now() + deadline_delta
                                                       : ServeClock::time_point::max();
-    const bool admitted =
-        router.submit(targets[i], deadline, priorities[i], [&](InferResult&& result) {
-          latencies.record(result.latency_seconds);
-          account(false);
-        });
+    const RequestMeta meta{deadline, priorities[i], config.tenant};
+    const bool admitted = router.submit(targets[i], meta, [&](InferResult&& result) {
+      latencies.record(result.latency_seconds);
+      account(false);
+    });
     if (!admitted) account(true);
   }
   {

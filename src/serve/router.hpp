@@ -14,18 +14,28 @@
 // an admitted request is always answered (bitwise-identically to a single
 // server), while a shed one costs nothing downstream; under bursty MMPP
 // arrivals that is what keeps the admitted-traffic p99 flat.
+// Multi-tenant mode: when AdmissionConfig::tenants is non-empty the Router
+// runs one staged queue per tenant and dispatches to replicas through a
+// smooth weighted-round-robin scheduler — under saturation each tenant's
+// served throughput converges to its SLO weight share, so one tenant's MMPP
+// burst cannot starve another's lane. Per-tenant token buckets bound each
+// tenant's admitted rate (budget shedding), and per-tenant deadlines default
+// from the tenant's SLO.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "serve/replica_group.hpp"
+#include "serve/tenant.hpp"
 #include "serve/traffic_gen.hpp"
 
 namespace distgnn::serve {
@@ -47,6 +57,15 @@ struct AdmissionConfig {
   double estimate_margin = 1.0;
   /// Seed of the power-of-two-choices sampling stream.
   std::uint64_t seed = 99;
+
+  /// Multi-tenant lanes: tenant id i gets tenants[i]'s SLO (weight, budget,
+  /// deadline, stage capacity). Empty = single-tenant legacy path (requests
+  /// go straight to the picked replica, no staging).
+  std::vector<TenantSlo> tenants;
+  /// Max requests dispatched to replicas but not yet completed in tenant
+  /// mode; staged requests beyond it wait their weighted-fair turn.
+  /// 0 = 2 x the group's total concurrency.
+  std::size_t dispatch_window = 0;
 };
 
 struct RouterStats {
@@ -55,10 +74,15 @@ struct RouterStats {
   std::uint64_t completed = 0;
   std::uint64_t shed_deadline = 0;    // deadline unmeetable at admission time
   std::uint64_t shed_priority = 0;    // low-priority lane over the watermark
-  std::uint64_t shed_queue_full = 0;  // bounced off the replica's bounded queue
+  std::uint64_t shed_queue_full = 0;  // bounced off a bounded queue / stage cap
+  std::uint64_t shed_budget = 0;      // tenant token bucket empty
   std::vector<std::uint64_t> admitted_per_replica;
+  /// Per-tenant submitted/completed/shed (tenant mode only).
+  std::vector<TenantCounters> tenants;
 
-  std::uint64_t shed() const { return shed_deadline + shed_priority + shed_queue_full; }
+  std::uint64_t shed() const {
+    return shed_deadline + shed_priority + shed_queue_full + shed_budget;
+  }
   double shed_rate() const {
     return submitted == 0 ? 0.0 : static_cast<double>(shed()) / static_cast<double>(submitted);
   }
@@ -74,9 +98,12 @@ class Router {
   Router(const Router&) = delete;
   Router& operator=(const Router&) = delete;
 
-  /// Routes one request. Returns false when the request was shed (deadline
-  /// unmeetable, priority lane over watermark, or queue full) — `done` is
-  /// then never invoked.
+  /// Routes one request. Returns false when the request was shed (budget
+  /// empty, deadline unmeetable, priority lane over watermark, or queue
+  /// full) — `done` is then never invoked. In tenant mode a true return
+  /// means the request entered its tenant's staged lane; it dispatches in
+  /// weighted-fair order and `done` runs on completion.
+  bool submit(vid_t vertex, const RequestMeta& meta, std::function<void(InferResult&&)> done);
   bool submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
               std::function<void(InferResult&&)> done);
   bool submit(vid_t vertex, std::function<void(InferResult&&)> done);
@@ -86,6 +113,8 @@ class Router {
   /// batch — every admitted answer carries the same snapshot_version.
   /// Entries of shed requests come back as nullopt.
   std::vector<std::optional<InferResult>> infer_batch(std::span<const vid_t> vertices,
+                                                      const RequestMeta& meta);
+  std::vector<std::optional<InferResult>> infer_batch(std::span<const vid_t> vertices,
                                                       ServeClock::time_point deadline,
                                                       Priority priority);
   std::vector<std::optional<InferResult>> infer_batch(std::span<const vid_t> vertices);
@@ -93,12 +122,34 @@ class Router {
   RouterStats stats() const;
   RoutePolicy policy() const { return policy_; }
   ReplicaGroup& group() { return group_; }
+  bool tenant_mode() const { return !lanes_.empty(); }
 
  private:
+  /// A staged request waiting for its weighted-fair dispatch turn.
+  struct Staged {
+    vid_t vertex = kInvalidVertex;
+    RequestMeta meta;
+    std::function<void(InferResult&&)> done;
+  };
+  /// One tenant's lane: SLO, rate budget, staged queue, and the smooth-WRR
+  /// accumulator. All fields are guarded by stage_mutex_.
+  struct TenantLane {
+    TenantSlo slo;
+    TokenBucket bucket{0, 0};
+    std::deque<Staged> staged;
+    double wrr_current = 0;
+    std::uint64_t submitted = 0, completed = 0, shed = 0;
+  };
+
   /// Assumes one admission slot is already held; releases it on shed, or
   /// hands it to the completion callback on admit.
-  bool route_one(vid_t vertex, ServeClock::time_point deadline, Priority priority,
-                 std::function<void(InferResult&&)> done);
+  bool route_one(vid_t vertex, const RequestMeta& meta, std::function<void(InferResult&&)> done);
+  /// Tenant-mode admission: budget, deadline, priority and stage-capacity
+  /// checks under stage_mutex_, then stage + pump. Slot handling as above.
+  bool admit_one(vid_t vertex, RequestMeta meta, std::function<void(InferResult&&)> done);
+  /// Dispatches staged requests while the window has room, picking the next
+  /// tenant by smooth weighted round-robin. Caller holds stage_mutex_.
+  void pump_locked();
   int pick_replica();
 
   ReplicaGroup& group_;
@@ -114,11 +165,19 @@ class Router {
   std::atomic<std::uint64_t> shed_deadline_{0};
   std::atomic<std::uint64_t> shed_priority_{0};
   std::atomic<std::uint64_t> shed_queue_full_{0};
+  std::atomic<std::uint64_t> shed_budget_{0};
   // Per-replica: requests admitted but not yet completed (queued + in
   // service), and lifetime admitted counts. Raw arrays because atomics are
   // not movable.
   std::unique_ptr<std::atomic<std::uint64_t>[]> outstanding_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> admitted_per_replica_;
+
+  // Tenant mode (empty lanes_ = legacy single-tenant path).
+  mutable std::mutex stage_mutex_;
+  std::vector<TenantLane> lanes_;
+  std::size_t inflight_ = 0;      // dispatched to a replica, not yet completed
+  std::size_t total_staged_ = 0;  // waiting in some lane
+  std::size_t window_ = 0;
 };
 
 /// Open-loop arrival-driven load through a Router (the replicated analogue
@@ -133,6 +192,8 @@ struct RouterLoadConfig {
   double low_priority_fraction = 0;
   /// Vertex-choice and priority-marking stream.
   std::uint64_t seed = 5;
+  /// Tenant lane every request of this stream submits under (tenant mode).
+  tenant_t tenant = kDefaultTenant;
 };
 
 LoadReport run_router_open_loop(Router& router, const RouterLoadConfig& config);

@@ -113,6 +113,14 @@ void ShardedServer::publish(std::shared_ptr<const ModelSnapshot> snapshot) {
     throw std::invalid_argument("ShardedServer: fanouts depth != model layers");
   if (spec.feature_dim != dataset_.feature_dim())
     throw std::invalid_argument("ShardedServer: snapshot feature_dim != dataset");
+  if (spec.kind == ModelKind::kRgcn) {
+    // Same typed-edge contract as InferenceServer: relation labels must be
+    // present and match, and RGCN has no layer-cached embed-forward path.
+    if (dataset_.num_edge_types != spec.num_relations)
+      throw std::invalid_argument("ShardedServer: snapshot num_relations != dataset edge types");
+    if (config_.embed_forward)
+      throw std::invalid_argument("ShardedServer: embed_forward does not support RGCN");
+  }
   if (config_.embed_forward && config_.embed_cache_bytes > 0) {
     std::lock_guard<std::mutex> lock(embed_mutex_);
     if (!embed_caches_.front()) {
@@ -150,7 +158,7 @@ void ShardedServer::stop() {
   running_.store(false, std::memory_order_release);
 }
 
-bool ShardedServer::submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+bool ShardedServer::submit(vid_t vertex, const RequestMeta& meta,
                            std::function<void(InferResult&&)> done) {
   if (vertex < 0 || vertex >= dataset_.num_vertices())
     throw std::out_of_range("ShardedServer: vertex id out of range");
@@ -158,17 +166,46 @@ bool ShardedServer::submit(vid_t vertex, ServeClock::time_point deadline, Priori
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   request.vertex = vertex;
   request.enqueue = ServeClock::now();
-  request.deadline = deadline;
-  request.priority = priority;
+  request.deadline = meta.deadline;
+  request.priority = meta.priority;
+  request.tenant = meta.tenant;
   request.done = std::move(done);
   const part_t target = owner_[static_cast<std::size_t>(vertex)];
   // Admitted is counted before the push so a drain() that starts after this
   // submit returns can never miss the request (the rejection path undoes it).
   admitted_.fetch_add(1, std::memory_order_release);
-  if (queues_[static_cast<std::size_t>(target)]->try_push(std::move(request))) return true;
+  if (queues_[static_cast<std::size_t>(target)]->try_push(std::move(request))) {
+    tenant_submitted(meta.tenant, /*admitted=*/true);
+    return true;
+  }
   admitted_.fetch_sub(1, std::memory_order_release);
   rejected_.fetch_add(1, std::memory_order_relaxed);
+  tenant_submitted(meta.tenant, /*admitted=*/false);
   return false;
+}
+
+void ShardedServer::tenant_submitted(tenant_t tenant, bool admitted) {
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  for (TenantCounters& lane : tenant_lanes_) {
+    if (lane.tenant != tenant) continue;
+    ++lane.submitted;
+    if (!admitted) ++lane.shed;
+    return;
+  }
+  TenantCounters lane;
+  lane.tenant = tenant;
+  lane.submitted = 1;
+  if (!admitted) lane.shed = 1;
+  tenant_lanes_.push_back(lane);
+}
+
+void ShardedServer::tenant_completed(tenant_t tenant) {
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  for (TenantCounters& lane : tenant_lanes_) {
+    if (lane.tenant != tenant) continue;
+    ++lane.completed;
+    return;
+  }
 }
 
 std::size_t ShardedServer::queue_depth() const {
@@ -212,6 +249,10 @@ BackendStats ShardedServer::stats() const {
   }
   s.rejected = rejected_.load(std::memory_order_relaxed);  // counted at submit, not per rank
   s.publishes = holder_.num_publishes();
+  {
+    std::lock_guard<std::mutex> lock(tenants_mutex_);
+    s.tenants = tenant_lanes_;  // accounted at the server edge, not per rank
+  }
   return s;
 }
 
@@ -226,7 +267,9 @@ void ShardedServer::finish_requests(std::vector<InferRequest>& batch, const Dens
     result.logits.assign(logits.row(r), logits.row(r) + logits.cols());
     result.latency_seconds = std::chrono::duration<double>(now - batch[r].enqueue).count();
     result.snapshot_version = snapshot_version;
+    result.tenant = batch[r].tenant;
     if (batch[r].done) batch[r].done(std::move(result));
+    tenant_completed(batch[r].tenant);
   }
 
   const auto service_ns = static_cast<std::uint64_t>(
@@ -308,10 +351,15 @@ void ShardedServer::run_classic_rank(Communicator& comm, part_t me) {
     slot->snapshot = holder_.get();
     slot->service_begin = ServeClock::now();
     slot->halo.minibatches.clear();
+    // RGCN blocks need relation labels per sampled edge; the typed sampler
+    // draws the identical RNG stream, so SAGE/GAT answers are unaffected.
+    const std::vector<int>* edge_types =
+        slot->snapshot->spec().kind == ModelKind::kRgcn ? &dataset_.edge_types : nullptr;
     for (const InferRequest& request : slot->requests) {
       Rng rng = request_rng(config_.sample_seed, request.vertex);
       const vid_t seed[1] = {request.vertex};
-      slot->halo.minibatches.push_back(sample_minibatch(in_csr, seed, config_.fanouts, rng));
+      slot->halo.minibatches.push_back(
+          sample_minibatch(in_csr, seed, config_.fanouts, rng, edge_types));
     }
     fetcher.begin_fetch(slot->halo);
     in_flight.push_back(slot);

@@ -53,32 +53,24 @@
 #include "serve/feature_cache.hpp"
 #include "serve/model_snapshot.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/tier_config.hpp"
 
 namespace distgnn::serve {
 
 class HaloFetcher;
 struct HaloBatch;
 
-struct ShardedServeConfig {
-  int max_batch = 8;
-  std::vector<int> fanouts = {10, 10};
-  std::uint64_t cache_bytes = 8ull << 20;
-  int cache_shards = 4;
-  std::uint64_t sample_seed = 1;
-  std::size_t queue_capacity = 1024;  // per rank
+/// Sharded-tier config: the shared TierConfig knobs (queue_capacity and the
+/// caches apply per rank) plus the halo prefetch ring depth. Field names are
+/// unchanged from the pre-TierConfig struct.
+struct ShardedServeConfig : TierConfig {
   /// In-flight halo batches per rank: 1 = synchronous fetch, 2 = the classic
   /// double buffer, d = a ring pipelining d-1 batches of fetch latency
   /// behind compute (deeper rings suit slower interconnects). Answers are
   /// bitwise-identical at every depth.
   int prefetch_depth = 1;
-  /// Embedding-cached serving: each rank serves through EmbedForward with a
-  /// per-rank EmbedCache keyed by (vertex, layer, snapshot version). Owner
-  /// routing keeps a vertex's repeats on one rank, so per-rank caches need
-  /// no coherence. Same canonical sampling stream as the single-server embed
-  /// mode, so answers match it bitwise (but not the classic path's stream).
-  bool embed_forward = false;
-  std::uint64_t embed_cache_bytes = 32ull << 20;
-  int embed_cache_shards = 8;
+
+  ShardedServeConfig() { cache_shards = 4; }
 };
 
 /// Per-rank stats are the sharded leaf case of the unified BackendStats
@@ -110,7 +102,7 @@ class ShardedServer : public ServingBackend {
   using ServingBackend::submit;
   /// Routes the request to the owner rank of `vertex`; false (a rejection)
   /// when that rank's bounded queue is full.
-  bool submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
+  bool submit(vid_t vertex, const RequestMeta& meta,
               std::function<void(InferResult&&)> done) override;
 
   std::size_t queue_depth() const override;
@@ -137,6 +129,8 @@ class ShardedServer : public ServingBackend {
   void rank_loop(Communicator& comm);
   void run_classic_rank(Communicator& comm, part_t me);
   void run_embed_rank(Communicator& comm, part_t me);
+  void tenant_submitted(tenant_t tenant, bool admitted);
+  void tenant_completed(tenant_t tenant);
   void finish_requests(std::vector<InferRequest>& batch, const DenseMatrix& logits,
                        std::uint64_t snapshot_version, ServeClock::time_point service_begin,
                        RankState& state);
@@ -157,6 +151,11 @@ class ShardedServer : public ServingBackend {
   std::vector<std::unique_ptr<EmbedCache>> embed_caches_;
   std::vector<std::unique_ptr<RankState>> rank_states_;
   SnapshotHolder holder_;
+
+  // Server-level tenant lanes (ranks are an implementation detail of the
+  // shard, so tenants are accounted where requests enter and leave).
+  mutable std::mutex tenants_mutex_;
+  std::vector<TenantCounters> tenant_lanes_;
 
   std::atomic<bool> running_{false};
   std::atomic<int> done_ranks_{0};
@@ -193,6 +192,13 @@ std::vector<part_t> vertex_owners(const EdgeList& edges, const EdgePartition& pa
 /// must equal partition.num_parts; the world argument is retained for API
 /// compatibility — the server owns its own ranks). Results come back aligned
 /// with the input order.
+///
+/// Deprecated: construct a ShardedServer directly (publish -> start ->
+/// submit/stats -> stop) — it is a long-lived ServingBackend that composes
+/// with ReplicaGroup, Router and ModelRegistry, while this wrapper rebuilds
+/// the whole tier per call. Kept for one release; every in-tree caller has
+/// been ported.
+[[deprecated("construct ShardedServer directly")]]
 ShardedServeReport serve_sharded(World& world, const Dataset& dataset,
                                  const EdgePartition& partition,
                                  std::shared_ptr<const ModelSnapshot> snapshot,

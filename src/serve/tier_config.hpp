@@ -1,0 +1,50 @@
+// Shared serving-tier configuration base.
+//
+// ServeConfig (single-process), ShardedServeConfig (P-rank sharded) and
+// ComposedTier's per-replica shard config used to triplicate the same
+// deadline/cache/batching knobs with drifting field names. TierConfig is the
+// consolidation: every tier-shaped config derives from it, so a ModelRegistry
+// entry configures one knob set regardless of which backend serves it, and a
+// composed tier can slice a ServeConfig down to its shard knobs by copying
+// the base. Field names are unchanged from the pre-consolidation structs —
+// the old spellings ARE the aliases, kept for one release (existing
+// field-by-field initialization code compiles untouched).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "serve/tenant.hpp"
+
+namespace distgnn::serve {
+
+struct TierConfig {
+  int max_batch = 8;
+  std::chrono::microseconds max_batch_delay{200};
+  std::size_t queue_capacity = 1024;  // per admission queue (per rank when sharded)
+  std::vector<int> fanouts = {10, 10};  // input-most first; size == model layers
+  std::uint64_t cache_bytes = 8ull << 20;
+  int cache_shards = 8;
+  /// Per-request sampling is seeded mix(sample_seed, vertex); every tier
+  /// uses the same mix, which is what makes single-process, sharded and
+  /// composed answers comparable bit for bit.
+  std::uint64_t sample_seed = 1;
+
+  /// Embedding-cached serving: when true, requests run through EmbedForward
+  /// (canonical per-(vertex, layer) sampling) and freshly computed layer
+  /// outputs are memoized in an EmbedCache keyed by (vertex, layer, snapshot
+  /// version). Answers are bitwise-stable across cache state but use a
+  /// different sampling stream than the classic path.
+  bool embed_forward = false;
+  std::uint64_t embed_cache_bytes = 32ull << 20;
+  int embed_cache_shards = 8;
+
+  /// Per-tenant SLO override for registry entries built from this config:
+  /// ModelRegistry::add_server reads the deadline/weight/budget for the
+  /// entry's lane from here, so a tenant's knobs travel with its tier config
+  /// instead of a parallel structure.
+  TenantSlo slo;
+};
+
+}  // namespace distgnn::serve

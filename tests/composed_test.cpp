@@ -118,24 +118,38 @@ TEST(ShardedServer, PrefetchRingDepthsAreBitwiseIdentical) {
   const auto snapshot = ModelSnapshot::random(sage_spec(dataset), /*seed=*/77, /*version=*/3);
   const EdgePartition partition = partition_libra(dataset.graph.coo(), /*num_parts=*/2);
 
-  std::vector<vid_t> requests = probe_vertices(dataset, 48, 29);
+  const std::vector<vid_t> requests = probe_vertices(dataset, 48, 29);
   ShardedServeConfig cfg;
   cfg.max_batch = 4;
   cfg.fanouts = {5, 5};
 
-  World world(2);
-  cfg.prefetch_depth = 2;
-  const ShardedServeReport depth2 =
-      serve_sharded(world, dataset, partition, snapshot, requests, cfg);
-  cfg.prefetch_depth = 3;
-  const ShardedServeReport depth3 =
-      serve_sharded(world, dataset, partition, snapshot, requests, cfg);
+  // Direct long-lived servers (the serve_sharded wrapper is deprecated): one
+  // per depth, same snapshot, results aligned by request index.
+  const auto run_at_depth = [&](int depth) {
+    ShardedServeConfig at = cfg;
+    at.prefetch_depth = depth;
+    ShardedServer server(dataset, partition, at);
+    server.publish(snapshot);
+    server.start();
+    std::vector<InferResult> results(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      while (!server.submit(requests[i],
+                            [&results, i](InferResult&& r) { results[i] = std::move(r); }))
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    server.drain();
+    const std::uint64_t halo_rows = server.stats().halo_rows_fetched;
+    server.stop();
+    return std::pair{std::move(results), halo_rows};
+  };
+  const auto [depth2, halo2] = run_at_depth(2);
+  const auto [depth3, halo3] = run_at_depth(3);
 
-  ASSERT_EQ(depth2.results.size(), depth3.results.size());
+  ASSERT_EQ(depth2.size(), depth3.size());
   for (std::size_t i = 0; i < requests.size(); ++i)
-    EXPECT_EQ(depth2.results[i].logits, depth3.results[i].logits) << "request " << i;
-  EXPECT_GT(depth2.total_halo_rows(), 0u);
-  EXPECT_GT(depth3.total_halo_rows(), 0u);
+    EXPECT_EQ(depth2[i].logits, depth3[i].logits) << "request " << i;
+  EXPECT_GT(halo2, 0u);
+  EXPECT_GT(halo3, 0u);
 }
 
 TEST(ShardedServer, RejectsInvalidConfigAndLifecycleMisuse) {
@@ -345,7 +359,7 @@ class FakeBackend : public ServingBackend {
   }
 
   using ServingBackend::submit;
-  bool submit(vid_t vertex, ServeClock::time_point, Priority,
+  bool submit(vid_t vertex, const RequestMeta&,
               std::function<void(InferResult&&)> done) override {
     {
       std::lock_guard<std::mutex> lock(mutex_);
