@@ -103,6 +103,7 @@ void run_composed(benchmark::State& state, int replicas, int shards) {
 
   LoadReport last;
   RouterStats last_stats;
+  obs::MetricsSnapshot scrape;
   bool match = true;
   for (auto _ : state) {
     ComposedConfig cfg;
@@ -151,12 +152,15 @@ void run_composed(benchmark::State& state, int replicas, int shards) {
     load.seed = g_seed;
     last = run_router_open_loop(tier.router(), load);
     last_stats = tier.router().stats().since(warmed);
+    scrape = obs::MetricsSnapshot{};
+    tier.scrape(scrape);
     tier.stop();
   }
 
   state.SetLabel("R" + std::to_string(replicas) + "xP" + std::to_string(shards));
   bench::attach_load_counters(state, last);
   bench::attach_admission_counters(state, last_stats);
+  bench::attach_stage_counters(state, scrape, "sharded");
   state.counters["replicas"] = replicas;
   state.counters["shards"] = shards;
   state.counters["match"] = match ? 1.0 : 0.0;

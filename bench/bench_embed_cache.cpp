@@ -128,6 +128,7 @@ void run_sharded_halo(benchmark::State& state, int prefetch_depth) {
   // Direct long-lived ShardedServer (serve_sharded is deprecated); rebuilt
   // per iteration so every measurement covers a cold tier like before.
   BackendStats last;
+  obs::MetricsSnapshot scrape;
   for (auto _ : state) {
     ShardedServer server(f.dataset, partition, cfg);
     server.publish(f.snapshot);
@@ -138,10 +139,13 @@ void run_sharded_halo(benchmark::State& state, int prefetch_depth) {
     }
     server.drain();
     last = server.stats();
+    scrape = obs::MetricsSnapshot{};
+    server.scrape(scrape);
     server.stop();
   }
 
   state.SetLabel("depth" + std::to_string(prefetch_depth));
+  bench::attach_stage_counters(state, scrape, "sharded");
   state.counters["halo_wait_us_per_batch"] = last.mean_halo_wait_per_batch() * 1e6;
   state.counters["halo_rows"] = static_cast<double>(last.halo_rows_fetched);
   state.counters["served"] = static_cast<double>(requests.size());

@@ -156,6 +156,7 @@ void BM_Multitenant_Isolation(benchmark::State& state) {
   const double capacity = 1.0 / f.svc;
   std::vector<LoadReport> last;
   BackendStats stats;
+  obs::MetricsSnapshot scrape;
   for (auto _ : state) {
     ModelRegistry registry;
     TenantSlo slo_a;
@@ -203,6 +204,8 @@ void BM_Multitenant_Isolation(benchmark::State& state) {
     const TenantStream streams[] = {stream_a(f, a), sb, sc};
     last = run_registry_open_loop(registry, streams);
     stats = registry.stats();
+    scrape = obs::MetricsSnapshot{};
+    registry.scrape(scrape);
     registry.stop();
   }
   state.SetLabel("A+B(burst)+C");
@@ -210,6 +213,7 @@ void BM_Multitenant_Isolation(benchmark::State& state) {
   for (std::size_t t = 0; t < last.size(); ++t)
     bench::attach_tenant_counters(state, static_cast<tenant_t>(t), last[t],
                                   stats.tenants[t]);
+  bench::attach_stage_counters(state, scrape, "server");
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(g_requests));
 }
 BENCHMARK(BM_Multitenant_Isolation)->Unit(benchmark::kMillisecond)->UseRealTime();

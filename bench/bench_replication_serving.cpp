@@ -87,6 +87,7 @@ void run_replicated(benchmark::State& state, int replicas, RoutePolicy policy, b
   ReplicationFixture& f = ReplicationFixture::get();
   LoadReport last;
   RouterStats last_stats;
+  obs::MetricsSnapshot scrape;
   for (auto _ : state) {
     ReplicaGroup group(f.dataset, f.config(), replicas);
     group.publish(f.snapshot);
@@ -111,11 +112,14 @@ void run_replicated(benchmark::State& state, int replicas, RoutePolicy policy, b
     load.seed = g_seed;
     last = run_router_open_loop(router, load);
     last_stats = router.stats().since(warmed);
+    scrape = obs::MetricsSnapshot{};
+    router.scrape(scrape);
     group.stop();
   }
   state.SetLabel(route_policy_name(policy) + (shed ? "/shed" : "/no-shed"));
   bench::attach_load_counters(state, last);
   bench::attach_admission_counters(state, last_stats);
+  bench::attach_stage_counters(state, scrape, "server");
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(g_requests));
 }
 

@@ -99,15 +99,19 @@ void BM_ClosedLoop(benchmark::State& state) {
   ServingFixture& f = ServingFixture::get();
   const int clients = static_cast<int>(state.range(0));
   LoadReport last;
+  obs::MetricsSnapshot scrape;
   for (auto _ : state) {
     InferenceServer server(f.dataset, f.config(/*workers=*/2, /*max_batch=*/16));
     server.publish(f.snapshot);
     server.start();
     TrafficGenerator traffic(server, g_seed);
     last = traffic.run_closed_loop(clients, /*requests_each=*/200 / clients);
+    scrape = obs::MetricsSnapshot{};
+    server.scrape(scrape);
     server.stop();
   }
   bench::attach_load_counters(state, last);
+  bench::attach_stage_counters(state, scrape, "server");
   state.SetItemsProcessed(state.iterations() * 200);
 }
 BENCHMARK(BM_ClosedLoop)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
@@ -122,15 +126,19 @@ void run_open_loop(benchmark::State& state, ArrivalProcess process) {
   arrivals.mmpp_rate0 = arrivals.rate / 4;
   arrivals.mmpp_rate1 = arrivals.rate * 4;
   LoadReport last;
+  obs::MetricsSnapshot scrape;
   for (auto _ : state) {
     InferenceServer server(f.dataset, f.config(/*workers=*/2, /*max_batch=*/16));
     server.publish(f.snapshot);
     server.start();
     TrafficGenerator traffic(server, g_seed);
     last = traffic.run_open_loop(arrivals, /*num_requests=*/400);
+    scrape = obs::MetricsSnapshot{};
+    server.scrape(scrape);
     server.stop();
   }
   bench::attach_load_counters(state, last);
+  bench::attach_stage_counters(state, scrape, "server");
   state.SetItemsProcessed(state.iterations() * 400);
 }
 
@@ -141,6 +149,37 @@ BENCHMARK(BM_OpenLoop_Poisson)->Arg(2000)->Arg(8000)->Unit(benchmark::kMilliseco
 
 void BM_OpenLoop_Mmpp(benchmark::State& state) { run_open_loop(state, ArrivalProcess::kMmpp); }
 BENCHMARK(BM_OpenLoop_Mmpp)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Tracing-overhead guard: the same open-loop Poisson run with stage tracing
+/// off vs on at the production sampling rate (1%). Emits both p99s and their
+/// ratio; CI gates overhead_ratio so the wait-free metrics path and the
+/// pre-push trace stamping stay effectively free on the hot path.
+void BM_TracingOverhead(benchmark::State& state) {
+  ServingFixture& f = ServingFixture::get();
+  ArrivalConfig arrivals;
+  arrivals.process = ArrivalProcess::kPoisson;
+  arrivals.rate = 2000;
+  arrivals.seed = g_seed;
+  double p99_off = 0, p99_on = 0;
+  for (auto _ : state) {
+    for (const double rate : {0.0, 0.01}) {
+      ServeConfig cfg = f.config(/*workers=*/2, /*max_batch=*/16);
+      cfg.trace_sample_rate = rate;
+      InferenceServer server(f.dataset, cfg);
+      server.publish(f.snapshot);
+      server.start();
+      TrafficGenerator traffic(server, g_seed);
+      const LoadReport report = traffic.run_open_loop(arrivals, /*num_requests=*/400);
+      server.stop();
+      (rate == 0.0 ? p99_off : p99_on) = report.p99_ms;
+    }
+  }
+  state.counters["p99_off_ms"] = p99_off;
+  state.counters["p99_on_ms"] = p99_on;
+  state.counters["overhead_ratio"] = p99_off > 0 ? p99_on / p99_off : 0.0;
+  state.SetItemsProcessed(state.iterations() * 800);
+}
+BENCHMARK(BM_TracingOverhead)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 }  // namespace distgnn

@@ -11,8 +11,10 @@
 #include <cstdio>
 #include <functional>
 #include <initializer_list>
+#include <map>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "serve/router.hpp"
 #include "serve/traffic_gen.hpp"
 #include "util/options.hpp"
@@ -39,6 +41,30 @@ inline void attach_load_counters(benchmark::State& state, const serve::LoadRepor
   state.counters["mean_batch"] = report.mean_batch;
   state.counters["rejected"] = static_cast<double>(report.rejected);
   attach_histogram_counters(state, report);
+}
+
+/// Canonical scrape-derived stage counter set: for one layer's
+/// `distgnn_<layer>_stage_seconds` histograms (layer = "server" for
+/// InferenceServer leaves, "sharded" for ShardedServer ranks), folds the
+/// tenant lanes per stage and emits stage_<name>_p50_ms / _p99_ms / _count.
+/// Every serving bench scrapes its backend once after the measured run and
+/// attaches this set, so the JSON artifact carries the per-stage breakdown
+/// alongside the end-to-end quantiles.
+inline void attach_stage_counters(benchmark::State& state, const obs::MetricsSnapshot& scrape,
+                                  const std::string& layer) {
+  const std::string name = "distgnn_" + layer + "_stage_seconds";
+  std::map<std::string, obs::HistogramData> by_stage;
+  for (const obs::MetricPoint& point : scrape.points) {
+    if (point.name != name || !point.is_histogram) continue;
+    for (const auto& [key, value] : point.labels)
+      if (key == "stage") by_stage[value] += point.histogram;
+  }
+  for (const auto& [stage, hist] : by_stage) {
+    if (hist.empty()) continue;
+    state.counters["stage_" + stage + "_p50_ms"] = hist.quantile(0.5) * 1e3;
+    state.counters["stage_" + stage + "_p99_ms"] = hist.quantile(0.99) * 1e3;
+    state.counters["stage_" + stage + "_count"] = static_cast<double>(hist.count);
+  }
 }
 
 /// Canonical admission-control counter set for router-fronted tiers.

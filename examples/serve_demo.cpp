@@ -9,7 +9,8 @@
 //                [--requests=400] [--clients=4] [--seed=1] [--zipf-s=0]
 //                [--replicas=2] [--policy=p2c|round-robin|least-outstanding]
 //                [--deadline-ms=20] [--low-frac=0.3] [--no-shed]
-//                [--embed-cache-mb=32] [--shards=2]
+//                [--embed-cache-mb=32] [--shards=2] [--trace-rate=0.05]
+//                [--metrics-out=metrics.prom] [--trace-out=traces.json]
 //
 // --zipf-s skews query popularity (0 = uniform); with a skewed workload the
 // final stage serves the same checkpoint through the embedding-cached
@@ -25,6 +26,13 @@
 // path, checks a probe batch bitwise against the single server, and drives
 // the same arrival process through the grid ("composed summary:" line).
 //
+// Every tier runs with stage tracing at --trace-rate sampling. After the
+// multi-tenant stage a "stage breakdown" table shows p50/p99 per serving
+// stage per tenant straight from the registry scrape, and --metrics-out /
+// --trace-out dump one combined scrape (composed tier + registry) as
+// Prometheus text and the sampled requests as Chrome trace_event JSON
+// (loadable in Perfetto / chrome://tracing).
+//
 // The last stage is multi-tenant: a ModelRegistry serving three model
 // families at once (the trained SAGE, a GAT, an RGCN over a heterogeneous
 // graph), each under its own SLO. Tenant A runs its nominal Poisson load
@@ -35,10 +43,12 @@
 // Unknown flags are rejected (util/options strict mode) so typos fail loudly.
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/single_socket_trainer.hpp"
+#include "obs/expose.hpp"
 #include "graph/datasets.hpp"
 #include "graph/hetero.hpp"
 #include "nn/serialize.hpp"
@@ -51,6 +61,7 @@
 #include "serve/router.hpp"
 #include "serve/traffic_gen.hpp"
 #include "util/options.hpp"
+#include "util/table.hpp"
 
 using namespace distgnn;
 using namespace distgnn::serve;
@@ -102,6 +113,7 @@ int run_demo(const Options& opts) {
   serve_cfg.max_batch_delay = std::chrono::microseconds(opts.get_int("delay-us", 200));
   serve_cfg.fanouts = std::vector<int>(static_cast<std::size_t>(train_cfg.num_layers), 10);
   serve_cfg.sample_seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  serve_cfg.trace_sample_rate = opts.get_double("trace-rate", 0.05);
   InferenceServer server(dataset, serve_cfg);
   server.publish(snapshot_v1);
   server.start();
@@ -243,6 +255,7 @@ int run_demo(const Options& opts) {
   composed_cfg.shard.max_batch = serve_cfg.max_batch;
   composed_cfg.shard.fanouts = serve_cfg.fanouts;
   composed_cfg.shard.sample_seed = serve_cfg.sample_seed;
+  composed_cfg.shard.trace_sample_rate = serve_cfg.trace_sample_rate;
   composed_cfg.shard.queue_capacity = serve_cfg.queue_capacity;
   composed_cfg.shard.prefetch_depth = 2;
   ComposedTier tier(dataset, partition, composed_cfg);
@@ -311,7 +324,7 @@ int run_demo(const Options& opts) {
   rgcn_spec.num_relations = hetero.num_edge_types;
   registry.publish(tenant_c, ModelSnapshot::random(rgcn_spec, /*seed=*/3, /*version=*/1));
   registry.start();
-  std::printf("multi-tenant registry: %zu tenants (alpha=SAGE bravo=GAT charlie=RGCN), "
+  std::printf("multi-tenant registry: %d tenants (alpha=SAGE bravo=GAT charlie=RGCN), "
               "bravo budget %.0f req/s\n",
               registry.num_models(), registry.slo(tenant_b).rate_limit);
 
@@ -351,11 +364,59 @@ int run_demo(const Options& opts) {
   const TenantCounters& lane_a = reg_stats.tenants[static_cast<std::size_t>(tenant_a)];
   const TenantCounters& lane_b = reg_stats.tenants[static_cast<std::size_t>(tenant_b)];
   const TenantCounters& lane_c = reg_stats.tenants[static_cast<std::size_t>(tenant_c)];
-  std::printf("multitenant summary: tenants=%zu A_qps=%.0f A_p99_ms=%.3f A_shed=%llu "
+  std::printf("multitenant summary: tenants=%d A_qps=%.0f A_p99_ms=%.3f A_shed=%llu "
               "B_shed_rate=%.3f C_completed=%llu\n",
               registry.num_models(), tenant_reports[0].qps, tenant_reports[0].p99_ms,
               static_cast<unsigned long long>(lane_a.shed), lane_b.shed_rate(),
               static_cast<unsigned long long>(lane_c.completed));
+
+  // 9. Stage breakdown straight from the registry scrape: the per-stage
+  //    histograms the leaf servers recorded where the work happened. One
+  //    scrape walks every tenant's tower; rows are (tenant, stage) pairs
+  //    that saw samples.
+  obs::MetricsSnapshot reg_scrape;
+  registry.scrape(reg_scrape);
+  TextTable stage_table({"tenant", "stage", "count", "p50_ms", "p99_ms"});
+  for (tenant_t t = 0; t < static_cast<tenant_t>(registry.num_models()); ++t) {
+    for (int s = 0; s < obs::kNumStages; ++s) {
+      const auto stage = static_cast<obs::Stage>(s);
+      const obs::Labels labels{{"stage", obs::stage_name(stage)},
+                               {"tenant", std::to_string(t)}};
+      const obs::MetricPoint* point = reg_scrape.find("distgnn_server_stage_seconds", labels);
+      if (point == nullptr || point->histogram.empty()) continue;
+      stage_table.add_row({registry.slo(t).name, obs::stage_name(stage),
+                           TextTable::fmt_int(static_cast<long long>(point->histogram.count)),
+                           TextTable::fmt(point->histogram.quantile(0.5) * 1e3),
+                           TextTable::fmt(point->histogram.quantile(0.99) * 1e3)});
+    }
+  }
+  std::printf("%s\n", stage_table.render("stage breakdown (registry scrape)").c_str());
+
+  // 10. Exposition: one combined scrape (composed tier's router -> group ->
+  //     sharded ranks, plus the registry's edge counters and leaf servers)
+  //     rendered to Prometheus text, and the sampled request traces to
+  //     Chrome trace_event JSON.
+  obs::MetricsSnapshot scrape_all;
+  tier.scrape(scrape_all);
+  scrape_all.merge(reg_scrape);
+  const std::string metrics_out = opts.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    out << obs::render_prometheus(scrape_all);
+    std::printf("metrics written: %s\n", metrics_out.c_str());
+  }
+  std::vector<obs::Trace> traces;
+  tier.collect_traces(traces);
+  registry.collect_traces(traces);
+  const std::string trace_out = opts.get("trace-out", "");
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    out << obs::render_chrome_trace(traces);
+    std::printf("traces written: %s\n", trace_out.c_str());
+  }
+  std::printf("observability summary: series=%zu traces=%zu router_completed=%.0f\n",
+              scrape_all.points.size(), traces.size(),
+              scrape_all.counter_total("distgnn_router_completed_total"));
   return 0;
 }
 
@@ -367,7 +428,7 @@ int main(int argc, char** argv) {
     opts.require_known({"vertices", "epochs", "workers", "batch", "delay-us", "arrival", "rate",
                         "requests", "clients", "seed", "checkpoint", "replicas", "policy",
                         "deadline-ms", "low-frac", "no-shed", "zipf-s", "embed-cache-mb",
-                        "shards"});
+                        "shards", "trace-rate", "metrics-out", "trace-out"});
     return run_demo(opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "serve_demo: %s\n", e.what());

@@ -1,0 +1,35 @@
+// Exposition: scrape snapshots to Prometheus text / JSON, traces to Chrome
+// trace_event JSON, plus a minimal Prometheus parser for round-trip tests
+// and CI assertions.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace distgnn::obs {
+
+/// Prometheus text exposition format, version 0.0.4: counters as
+/// `name{labels} value`, histograms as cumulative `_bucket{le=...}` series
+/// plus `_sum`/`_count`. Series are grouped by metric name with one # TYPE
+/// line each; label values are escaped per the spec.
+std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+/// The same snapshot as a JSON array of {name, labels, type, ...} objects —
+/// counters carry "value", histograms carry "count"/"sum"/"buckets"
+/// ({le, count} cumulative, mirroring the Prometheus encoding).
+std::string render_json(const MetricsSnapshot& snapshot);
+
+/// Chrome trace_event JSON ("X" complete events, microsecond timestamps):
+/// one event per recorded stage span, pid = tenant, tid = request id, so
+/// chrome://tracing / Perfetto lays requests out as rows grouped by tenant.
+std::string render_chrome_trace(std::span<const Trace> traces);
+
+/// Minimal parser for the subset render_prometheus emits (enough for a
+/// round-trip test and smoke assertions; not a general scraper). Histogram
+/// series are folded back into HistogramData; unknown lines throw.
+MetricsSnapshot parse_prometheus(const std::string& text);
+
+}  // namespace distgnn::obs

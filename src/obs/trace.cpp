@@ -1,0 +1,130 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace distgnn::obs {
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kAdmit: return "admit";
+    case Stage::kQueue: return "queue";
+    case Stage::kSample: return "sample";
+    case Stage::kHaloWait: return "halo_wait";
+    case Stage::kEmbedLookup: return "embed_lookup";
+    case Stage::kForward: return "forward";
+    case Stage::kReply: return "reply";
+  }
+  return "?";
+}
+
+double Trace::coverage() const {
+  const double total = total_seconds();
+  if (total <= 0) return 0.0;
+  double covered = 0;
+  for (const Span& span : spans) {
+    if (!span.valid()) continue;
+    const double b = std::max(span.begin_seconds, begin_seconds);
+    const double e = std::min(span.end_seconds, end_seconds);
+    if (e > b) covered += e - b;
+  }
+  return std::min(1.0, covered / total);
+}
+
+bool trace_sampled(std::uint64_t request_id, std::int32_t tenant, double rate) {
+  if (rate <= 0) return false;
+  if (rate >= 1) return true;
+  // splitmix64 finalizer over (id, tenant): a uniform u64, compared against
+  // the rate as a fixed-point threshold.
+  std::uint64_t x = request_id + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(
+                                    static_cast<std::uint32_t>(tenant)) + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<double>(x) < rate * 18446744073709551616.0;  // 2^64
+}
+
+TraceContext::TraceContext(std::uint64_t request_id, std::int32_t tenant, std::int64_t vertex,
+                           TraceClock::time_point begin) {
+  trace_.request_id = request_id;
+  trace_.tenant = tenant;
+  trace_.vertex = vertex;
+  trace_.begin_seconds = seconds(begin);
+}
+
+TraceSink::TraceSink(std::size_t ring_capacity, int top_k)
+    : slots_(std::max<std::size_t>(1, ring_capacity)), top_k_(std::max(1, top_k)) {
+  top_.reserve(static_cast<std::size_t>(top_k_) + 1);
+}
+
+void TraceSink::publish(const Trace& trace) {
+  const std::uint64_t ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[static_cast<std::size_t>(ticket % slots_.size())];
+  std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  // Claim the slot by flipping it odd; a concurrent claimant (only possible
+  // after ring wrap-around under extreme pressure) drops this trace rather
+  // than blocking — the ring is a sample, not a log.
+  if (!(seq & 1) && slot.seq.compare_exchange_strong(seq, seq | 1, std::memory_order_acquire,
+                                                     std::memory_order_relaxed)) {
+    slot.trace = trace;
+    slot.seq.store((ticket + 1) << 1, std::memory_order_release);
+    published_.fetch_add(1, std::memory_order_release);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(top_mutex_);
+    const auto pos = std::find_if(top_.begin(), top_.end(), [&](const Trace& t) {
+      return t.total_seconds() < trace.total_seconds();
+    });
+    if (pos != top_.end() || static_cast<int>(top_.size()) < top_k_) {
+      top_.insert(pos, trace);
+      if (static_cast<int>(top_.size()) > top_k_) top_.pop_back();
+    }
+  }
+}
+
+std::vector<Trace> TraceSink::ring_snapshot() const {
+  struct Read {
+    std::uint64_t seq;
+    Trace trace;
+  };
+  std::vector<Read> reads;
+  reads.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 == 0 || (s1 & 1)) continue;  // never written, or mid-write
+    Read read;
+    read.seq = s1;
+    read.trace = slot.trace;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != s1) continue;  // torn by a wrap
+    reads.push_back(read);
+  }
+  std::sort(reads.begin(), reads.end(),
+            [](const Read& a, const Read& b) { return a.seq < b.seq; });
+  std::vector<Trace> out;
+  out.reserve(reads.size());
+  for (Read& read : reads) out.push_back(read.trace);
+  return out;
+}
+
+std::vector<Trace> TraceSink::slowest() const {
+  std::lock_guard<std::mutex> lock(top_mutex_);
+  return top_;
+}
+
+void TraceSink::collect(std::vector<Trace>& out) const {
+  std::vector<Trace> ring = ring_snapshot();
+  const std::vector<Trace> top = slowest();
+  for (const Trace& exemplar : top) {
+    const bool resident = std::any_of(ring.begin(), ring.end(), [&](const Trace& t) {
+      return t.request_id == exemplar.request_id && t.tenant == exemplar.tenant &&
+             t.begin_seconds == exemplar.begin_seconds;
+    });
+    if (!resident) ring.push_back(exemplar);
+  }
+  out.insert(out.end(), ring.begin(), ring.end());
+}
+
+}  // namespace distgnn::obs

@@ -1,0 +1,178 @@
+// Per-request stage tracing for the serving tower.
+//
+// A sampled request carries a TraceContext from admission to reply; each
+// serving stage records a monotonic [begin, end) span into it *where the
+// work happens* (the leaf server's submit path and worker loop), not
+// reconstructed at the edge. Stages mirror the request's life: admit (the
+// submit call), queue (enqueue -> worker pop), sample (neighbourhood
+// sampling), halo_wait (blocked on peer rows, sharded tier), embed_lookup
+// (EmbedForward path), forward (GEMM stack), reply (result build +
+// callback). Batch-level stages stamp the same span into every traced
+// request of the batch — a request's trace shows the batch work it rode in.
+//
+// Sampling is per-tenant probabilistic (trace_sample_rate on TierConfig)
+// and deterministic in (request id, tenant): splitmix64 of the pair against
+// the rate, so tests can pin exact sampled sets and two layers never
+// disagree about whether a request is traced.
+//
+// Completed traces land in a TraceSink: a bounded lock-free ring (per-slot
+// seqlock — writers claim a ticket with fetch_add and never block each
+// other; a reader that races a writer simply skips the torn slot) plus a
+// top-K-by-latency exemplar log under a small mutex (publishes are rare at
+// sampling rates worth running). Both are dumpable as Chrome trace_event
+// JSON via obs::render_chrome_trace (opens in chrome://tracing / Perfetto).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace distgnn::obs {
+
+enum class Stage : std::uint8_t {
+  kAdmit = 0,
+  kQueue,
+  kSample,
+  kHaloWait,
+  kEmbedLookup,
+  kForward,
+  kReply,
+};
+inline constexpr int kNumStages = 7;
+
+/// "admit", "queue", ... — the metric label and trace_event name.
+const char* stage_name(Stage stage);
+
+using TraceClock = std::chrono::steady_clock;
+
+/// One stage's [begin, end) in seconds on the TraceClock epoch. begin < 0
+/// means the stage never ran for this request.
+struct Span {
+  double begin_seconds = -1.0;
+  double end_seconds = -1.0;
+
+  bool valid() const { return begin_seconds >= 0 && end_seconds >= begin_seconds; }
+  double duration_seconds() const { return valid() ? end_seconds - begin_seconds : 0.0; }
+};
+
+/// A completed request trace. Trivially copyable by design: ring slots copy
+/// it under a seqlock, where a std::string member would tear.
+struct Trace {
+  std::uint64_t request_id = 0;
+  std::int32_t tenant = 0;
+  std::int64_t vertex = -1;
+  double begin_seconds = 0;  // admission instant (TraceClock)
+  double end_seconds = 0;    // after the reply callback returned
+  std::array<Span, kNumStages> spans{};
+
+  double total_seconds() const { return end_seconds - begin_seconds; }
+  const Span& span(Stage stage) const { return spans[static_cast<std::size_t>(stage)]; }
+  /// Fraction of [begin, end] covered by the union of the spans (spans are
+  /// non-overlapping by construction — stages are sequential per request).
+  double coverage() const;
+};
+
+/// Deterministic per-request sampling decision: true for a `rate` fraction
+/// of (id, tenant) pairs. Uses a splitmix64 hash, so every layer that asks
+/// about the same request agrees without coordination.
+bool trace_sampled(std::uint64_t request_id, std::int32_t tenant, double rate);
+
+inline Span make_span(TraceClock::time_point begin, TraceClock::time_point end) {
+  return Span{std::chrono::duration<double>(begin.time_since_epoch()).count(),
+              std::chrono::duration<double>(end.time_since_epoch()).count()};
+}
+
+/// Batch-level stage windows a worker hands to its completion path, so every
+/// request of the batch gets the same batch spans stamped into its trace and
+/// observed into the stage histograms (a request's stage latency is the
+/// latency of the batch it rode in). Invalid (default) spans mean the stage
+/// did not run for this batch.
+struct BatchStageTimes {
+  Span sample, halo_wait, embed_lookup, forward;
+};
+
+/// Mutable trace being assembled while the request is in flight. Not
+/// internally synchronized: it is written by one thread at a time (the
+/// submit thread, then the worker that popped the request), with the queue's
+/// mutex providing the hand-off ordering.
+class TraceContext {
+ public:
+  TraceContext(std::uint64_t request_id, std::int32_t tenant, std::int64_t vertex,
+               TraceClock::time_point begin);
+
+  static double seconds(TraceClock::time_point t) {
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+  }
+
+  void begin_stage(Stage stage, TraceClock::time_point t) {
+    trace_.spans[static_cast<std::size_t>(stage)].begin_seconds = seconds(t);
+  }
+  void end_stage(Stage stage, TraceClock::time_point t) {
+    trace_.spans[static_cast<std::size_t>(stage)].end_seconds = seconds(t);
+  }
+  void set_stage(Stage stage, TraceClock::time_point begin, TraceClock::time_point end) {
+    Span& span = trace_.spans[static_cast<std::size_t>(stage)];
+    span.begin_seconds = seconds(begin);
+    span.end_seconds = seconds(end);
+  }
+  void set_stage(Stage stage, const Span& span) {
+    trace_.spans[static_cast<std::size_t>(stage)] = span;
+  }
+
+  /// Stamps the end time and returns the finished trace.
+  const Trace& finish(TraceClock::time_point end) {
+    trace_.end_seconds = seconds(end);
+    return trace_;
+  }
+  const Trace& trace() const { return trace_; }
+
+ private:
+  Trace trace_;
+};
+
+/// Bounded sink of completed traces: overwrite ring + top-K exemplars.
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t ring_capacity = 256, int top_k = 8);
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Lock-free on the ring (see file comment); the exemplar update takes a
+  /// small mutex. Safe from any number of threads.
+  void publish(const Trace& trace);
+
+  /// Every readable ring entry, oldest first (best effort: slots being
+  /// written during the read are skipped).
+  std::vector<Trace> ring_snapshot() const;
+  /// The K slowest traces seen, slowest first.
+  std::vector<Trace> slowest() const;
+  /// Ring entries plus any exemplar no longer resident in the ring —
+  /// deduplicated, the set a trace dump wants.
+  void collect(std::vector<Trace>& out) const;
+
+  std::uint64_t published() const { return published_.load(std::memory_order_acquire); }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    /// Seqlock word: 0 = never written, odd = write in progress, even > 0 =
+    /// readable (value encodes the writer's ticket).
+    std::atomic<std::uint64_t> seq{0};
+    Trace trace;
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> next_ticket_{0};
+  std::atomic<std::uint64_t> published_{0};
+
+  mutable std::mutex top_mutex_;
+  int top_k_;
+  std::vector<Trace> top_;  // kept sorted, slowest first
+};
+
+}  // namespace distgnn::obs

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "graph/datasets.hpp"
+#include "obs/scrape.hpp"
 #include "serve/feature_cache.hpp"
 #include "serve/model_snapshot.hpp"
 #include "serve/request_queue.hpp"
@@ -78,6 +79,12 @@ struct BackendStats {
   CacheStats feature_cache;  // space 0: local/owned feature rows
   CacheStats halo_cache;     // space 1: remote rows (sharded tier only)
   CacheStats embed_cache;    // layer-output cache (embed-forward mode only)
+
+  /// End-to-end request latency histogram (submit -> reply callback), filled
+  /// by leaf backends from their metrics registry and folded bucket-wise in
+  /// absorb() — so a ReplicaGroup/ComposedTier snapshot carries a real
+  /// latency distribution instead of re-measuring at every layer.
+  obs::HistogramData latency;
 
   /// Per-tenant lanes (merged by tenant id in absorb()).
   std::vector<TenantCounters> tenants;
@@ -129,6 +136,7 @@ struct BackendStats {
     feature_cache += child.feature_cache;
     halo_cache += child.halo_cache;
     embed_cache += child.embed_cache;
+    latency += child.latency;
     for (const TenantCounters& lane : child.tenants) {
       TenantCounters& mine = tenant_lane(lane.tenant);
       mine.submitted += lane.submitted;
@@ -139,9 +147,38 @@ struct BackendStats {
   }
 };
 
-class ServingBackend {
+/// Result of check_tenant_fold: `consistent` is the verdict, `detail` names
+/// the first lane that broke the invariant (empty when consistent).
+struct TenantFoldReport {
+  bool consistent = true;
+  std::string detail;
+};
+
+/// The one place the parent-vs-children tenant-lane invariant is encoded
+/// (each layer used to hand-merge lanes, and a missed lane silently
+/// under-counted). For every tenant lane of `stats`:
+///   - strict mode (edge_authoritative = false; parents whose lanes exist
+///     only via absorb(), e.g. ReplicaGroup): submitted/completed/shed must
+///     each equal the fold of the children's lanes.
+///   - edge mode (edge_authoritative = true; parents that replace lanes with
+///     their own edge accounting, e.g. ComposedTier in tenant mode or
+///     ModelRegistry): completed must equal the children's fold (every
+///     admitted request is answered exactly once below the edge — exact only
+///     after drain), and submitted/shed must be >= the children's fold (the
+///     edge sees traffic it sheds before any child does).
+/// Backends with no per-tenant children lanes (a ShardedServer's ranks) are
+/// reported consistent trivially — the invariant needs two tiers of lanes.
+TenantFoldReport check_tenant_fold(const BackendStats& stats, bool edge_authoritative);
+
+class ServingBackend : public obs::ScrapeSource {
  public:
-  virtual ~ServingBackend() = default;
+  ~ServingBackend() override = default;
+
+  /// ScrapeSource: fold this backend's metrics (and children's) into `out`.
+  /// Default is empty so test fakes and thin adapters stay source-
+  /// compatible; real tiers override (leaves scrape their registry,
+  /// composites recurse).
+  void scrape(obs::MetricsSnapshot& out) const override { (void)out; }
 
   /// Atomically swaps the served model; callable before start() and at any
   /// point under live traffic. Composite backends make this a version-
@@ -170,7 +207,8 @@ class ServingBackend {
   /// Pre-tenancy spelling, kept as a non-virtual alias for one release.
   bool submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
               std::function<void(InferResult&&)> done) {
-    return submit(vertex, RequestMeta{deadline, priority, kDefaultTenant}, std::move(done));
+    return submit(vertex, RequestMeta{deadline, priority, kDefaultTenant, nullptr},
+                  std::move(done));
   }
 
   /// Blocking batch: one entry per vertex, nullopt where the request was not
@@ -186,7 +224,7 @@ class ServingBackend {
   std::vector<std::optional<InferResult>> infer_batch(std::span<const vid_t> vertices,
                                                       ServeClock::time_point deadline,
                                                       Priority priority) {
-    return infer_batch(vertices, RequestMeta{deadline, priority, kDefaultTenant});
+    return infer_batch(vertices, RequestMeta{deadline, priority, kDefaultTenant, nullptr});
   }
 
   /// Blocking convenience wrapper for closed-loop clients and tests. The

@@ -85,6 +85,13 @@ class ComposedTier : public ServingBackend {
   /// Aggregate over the grid: children[r] is replica r (whose own children
   /// are its P ranks); rejected folds in the Router's shed counts.
   BackendStats stats() const override;
+  /// ScrapeSource: one walk of the whole tier — router counters, group
+  /// publishes, and every replica's (sharded) stage histograms. The Router
+  /// already recurses into the group, so this delegates to it.
+  void scrape(obs::MetricsSnapshot& out) const override { router_.scrape(out); }
+  void collect_traces(std::vector<obs::Trace>& out) const override {
+    group_.collect_traces(out);
+  }
 
   int num_replicas() const { return group_.num_replicas(); }
   int num_shards() const { return num_shards_; }

@@ -91,63 +91,75 @@ bool InferenceServer::submit(vid_t vertex, const RequestMeta& meta,
                              std::function<void(InferResult&&)> done) {
   if (vertex < 0 || vertex >= dataset_.num_vertices())
     throw std::out_of_range("InferenceServer: vertex id out of range");
+  const auto enqueue = ServeClock::now();
   InferRequest request;
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   request.vertex = vertex;
-  request.enqueue = ServeClock::now();
+  request.enqueue = enqueue;
   request.deadline = meta.deadline;
   request.priority = meta.priority;
   request.tenant = meta.tenant;
   request.done = std::move(done);
+  // Trace stamping happens entirely before the push — the request is moved
+  // into the queue, and a post-push write would race the popping worker.
+  if (meta.trace) {
+    request.trace = meta.trace;
+  } else if (config_.trace_sample_rate > 0 &&
+             obs::trace_sampled(request.id, meta.tenant, config_.trace_sample_rate)) {
+    request.trace = std::make_shared<obs::TraceContext>(
+        request.id, meta.tenant, static_cast<std::int64_t>(vertex), enqueue);
+  }
+  const auto pre_push = ServeClock::now();
+  if (request.trace) {
+    request.trace->set_stage(obs::Stage::kAdmit, enqueue, pre_push);
+    request.trace->begin_stage(obs::Stage::kQueue, pre_push);
+  }
   // Admitted is counted before the push so a drain() that starts after this
   // submit returns can never miss the request (the rejection path undoes it).
   admitted_.fetch_add(1, std::memory_order_release);
   if (queue_.try_push(std::move(request))) {
-    tenant_submitted(meta.tenant, /*admitted=*/true);
+    stage_metrics_.submitted.with(meta.tenant).add();
+    stage_metrics_.observe_stage(obs::Stage::kAdmit, meta.tenant,
+                                 std::chrono::duration<double>(pre_push - enqueue).count());
     return true;
   }
   admitted_.fetch_sub(1, std::memory_order_release);
   rejected_.fetch_add(1, std::memory_order_relaxed);
-  tenant_submitted(meta.tenant, /*admitted=*/false);
+  stage_metrics_.submitted.with(meta.tenant).add();
+  stage_metrics_.shed.with(meta.tenant).add();
   return false;
 }
 
 InferResult InferenceServer::infer_sync(vid_t vertex) {
   std::promise<InferResult> promise;
   auto future = promise.get_future();
+  const auto enqueue = ServeClock::now();
   InferRequest request;
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   request.vertex = vertex;
-  request.enqueue = ServeClock::now();
+  request.enqueue = enqueue;
   request.done = [&promise](InferResult&& r) { promise.set_value(std::move(r)); };
+  // Closed-loop requests trace like submitted ones (stamped pre-push; the
+  // blocking push orders the hand-off the same way try_push does).
+  if (config_.trace_sample_rate > 0 &&
+      obs::trace_sampled(request.id, kDefaultTenant, config_.trace_sample_rate)) {
+    request.trace = std::make_shared<obs::TraceContext>(
+        request.id, kDefaultTenant, static_cast<std::int64_t>(vertex), enqueue);
+  }
+  const auto pre_push = ServeClock::now();
+  if (request.trace) {
+    request.trace->set_stage(obs::Stage::kAdmit, enqueue, pre_push);
+    request.trace->begin_stage(obs::Stage::kQueue, pre_push);
+  }
   admitted_.fetch_add(1, std::memory_order_release);
   if (!queue_.push(std::move(request))) {
     admitted_.fetch_sub(1, std::memory_order_release);
     throw std::runtime_error("InferenceServer: infer_sync on a stopped server");
   }
-  tenant_submitted(kDefaultTenant, /*admitted=*/true);
+  stage_metrics_.submitted.with(kDefaultTenant).add();
+  stage_metrics_.observe_stage(obs::Stage::kAdmit, kDefaultTenant,
+                               std::chrono::duration<double>(pre_push - enqueue).count());
   return future.get();
-}
-
-void InferenceServer::tenant_submitted(tenant_t tenant, bool admitted) {
-  std::lock_guard<std::mutex> lock(tenants_mutex_);
-  for (TenantCounters& lane : tenant_lanes_) {
-    if (lane.tenant != tenant) continue;
-    ++lane.submitted;
-    if (!admitted) ++lane.shed;
-    return;
-  }
-  tenant_lanes_.push_back(TenantCounters{tenant, 1, 0, admitted ? 0ull : 1ull});
-}
-
-void InferenceServer::tenant_completed(tenant_t tenant) {
-  std::lock_guard<std::mutex> lock(tenants_mutex_);
-  for (TenantCounters& lane : tenant_lanes_) {
-    if (lane.tenant != tenant) continue;
-    ++lane.completed;
-    return;
-  }
-  tenant_lanes_.push_back(TenantCounters{tenant, 0, 1, 0});
 }
 
 void InferenceServer::drain() {
@@ -226,8 +238,16 @@ void InferenceServer::process_batch(std::vector<InferRequest>&& batch, ForwardSc
     }
   }
 
+  // Stage windows: `sample` covers plan + input-feature gather (minibatch
+  // preparation on the single-process path), `forward` the GEMM stack.
+  const auto forward_begin = ServeClock::now();
   snapshot->forward_batch(minibatches, inputs.cview(), scratch, logits);
-  finish_batch(batch, logits, snapshot->version(), service_begin);
+  const auto forward_end = ServeClock::now();
+
+  obs::BatchStageTimes stages;
+  stages.sample = obs::make_span(service_begin, forward_begin);
+  stages.forward = obs::make_span(forward_begin, forward_end);
+  finish_batch(batch, logits, snapshot->version(), service_begin, stages);
 }
 
 void InferenceServer::process_batch_embed(std::vector<InferRequest>&& batch,
@@ -237,24 +257,79 @@ void InferenceServer::process_batch_embed(std::vector<InferRequest>&& batch,
   const std::shared_ptr<const ModelSnapshot> snapshot = holder_.get();
   seeds.clear();
   for (const InferRequest& request : batch) seeds.push_back(request.vertex);
+  const auto embed_begin = ServeClock::now();
   evaluator.infer(*snapshot, seeds, logits);
-  finish_batch(batch, logits, snapshot->version(), service_begin);
+  const auto embed_end = ServeClock::now();
+
+  // EmbedForward samples and computes per (vertex, layer) internally, so the
+  // whole evaluation is one embed_lookup window.
+  obs::BatchStageTimes stages;
+  stages.embed_lookup = obs::make_span(embed_begin, embed_end);
+  finish_batch(batch, logits, snapshot->version(), service_begin, stages);
 }
 
 void InferenceServer::finish_batch(std::vector<InferRequest>& batch, const DenseMatrix& logits,
                                    std::uint64_t snapshot_version,
-                                   ServeClock::time_point service_begin) {
+                                   ServeClock::time_point service_begin,
+                                   const obs::BatchStageTimes& stages) {
   const auto now = ServeClock::now();
+  auto reply_begin = now;  // each request's reply window starts where the previous ended
   for (std::size_t r = 0; r < batch.size(); ++r) {
+    InferRequest& request = batch[r];
     InferResult result;
-    result.request_id = batch[r].id;
-    result.vertex = batch[r].vertex;
+    result.request_id = request.id;
+    result.vertex = request.vertex;
     result.logits.assign(logits.row(r), logits.row(r) + logits.cols());
-    result.latency_seconds = std::chrono::duration<double>(now - batch[r].enqueue).count();
+    result.latency_seconds = std::chrono::duration<double>(now - request.enqueue).count();
     result.snapshot_version = snapshot_version;
-    result.tenant = batch[r].tenant;
-    if (batch[r].done) batch[r].done(std::move(result));
-    tenant_completed(batch[r].tenant);
+    result.tenant = request.tenant;
+
+    // Batch-level stage windows, stamped per request: queue ended when the
+    // worker popped the batch; sample/forward (or embed_lookup) are the batch
+    // windows every rider shares.
+    stage_metrics_.observe_stage(
+        obs::Stage::kQueue, request.tenant,
+        std::chrono::duration<double>(service_begin - request.enqueue).count());
+    if (stages.sample.valid())
+      stage_metrics_.observe_stage(obs::Stage::kSample, request.tenant,
+                                   stages.sample.duration_seconds());
+    if (stages.halo_wait.valid())
+      stage_metrics_.observe_stage(obs::Stage::kHaloWait, request.tenant,
+                                   stages.halo_wait.duration_seconds());
+    if (stages.embed_lookup.valid())
+      stage_metrics_.observe_stage(obs::Stage::kEmbedLookup, request.tenant,
+                                   stages.embed_lookup.duration_seconds());
+    if (stages.forward.valid())
+      stage_metrics_.observe_stage(obs::Stage::kForward, request.tenant,
+                                   stages.forward.duration_seconds());
+    if (request.trace) {
+      obs::TraceContext& trace = *request.trace;
+      trace.end_stage(obs::Stage::kQueue, service_begin);
+      if (stages.sample.valid()) trace.set_stage(obs::Stage::kSample, stages.sample);
+      if (stages.halo_wait.valid()) trace.set_stage(obs::Stage::kHaloWait, stages.halo_wait);
+      if (stages.embed_lookup.valid())
+        trace.set_stage(obs::Stage::kEmbedLookup, stages.embed_lookup);
+      if (stages.forward.valid()) trace.set_stage(obs::Stage::kForward, stages.forward);
+      // The trace's reply span starts at batch finish, not at the chained
+      // window: for a later rider the wait on its predecessors' callbacks is
+      // part of its end-to-end reply latency, and the spans must cover the
+      // measured total. The histogram below keeps the chained (marginal)
+      // window so per-request reply costs still sum to the batch's.
+      trace.begin_stage(obs::Stage::kReply, now);
+    }
+
+    if (request.done) request.done(std::move(result));
+    const auto reply_end = ServeClock::now();
+    stage_metrics_.observe_stage(obs::Stage::kReply, request.tenant,
+                                 std::chrono::duration<double>(reply_end - reply_begin).count());
+    stage_metrics_.request_seconds.with(request.tenant)
+        .observe(std::chrono::duration<double>(reply_end - request.enqueue).count());
+    stage_metrics_.completed.with(request.tenant).add();
+    if (request.trace) {
+      request.trace->end_stage(obs::Stage::kReply, reply_end);
+      trace_sink_.publish(request.trace->finish(reply_end));
+    }
+    reply_begin = reply_end;
   }
 
   service_ns_.fetch_add(
@@ -290,13 +365,25 @@ BackendStats InferenceServer::stats() const {
   s.service_seconds = static_cast<double>(service_ns_.load(std::memory_order_relaxed)) * 1e-9;
   s.queue_depth = queue_.size();
   s.publishes = holder_.num_publishes();
-  {
-    std::lock_guard<std::mutex> lock(tenants_mutex_);
-    s.tenants = tenant_lanes_;
-  }
+  // Tenant lanes and the latency histogram fold out of the sharded metrics
+  // (acquire loads) — the server keeps no second set of books.
+  stage_metrics_.submitted.for_each(
+      [&](int id, const obs::Counter& c) { s.tenant_lane(id).submitted = c.value(); });
+  stage_metrics_.completed.for_each(
+      [&](int id, const obs::Counter& c) { s.tenant_lane(id).completed = c.value(); });
+  stage_metrics_.shed.for_each(
+      [&](int id, const obs::Counter& c) { s.tenant_lane(id).shed = c.value(); });
+  stage_metrics_.request_seconds.for_each(
+      [&](int, const obs::Histogram& h) { s.latency += h.snapshot(); });
   s.feature_cache = cache_.stats(/*space=*/0);
   if (const EmbedCache* cache = embed_cache_ptr()) s.embed_cache = cache->combined_stats();
   return s;
+}
+
+void InferenceServer::scrape(obs::MetricsSnapshot& out) const { metrics_.scrape(out); }
+
+void InferenceServer::collect_traces(std::vector<obs::Trace>& out) const {
+  trace_sink_.collect(out);
 }
 
 }  // namespace distgnn::serve

@@ -18,6 +18,9 @@
 #include <vector>
 
 #include "graph/datasets.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scrape.hpp"
+#include "obs/trace.hpp"
 #include "serve/backend.hpp"
 #include "serve/embed_cache.hpp"
 #include "serve/feature_cache.hpp"
@@ -88,6 +91,13 @@ class InferenceServer : public ServingBackend {
   int concurrency() const override { return config_.num_workers; }
 
   BackendStats stats() const override;
+  /// ScrapeSource: fold this server's stage histograms and tenant counters
+  /// into `out` (acquire-load fold of the per-worker metric shards).
+  void scrape(obs::MetricsSnapshot& out) const override;
+  /// Completed sampled stage traces (ring + slow-request exemplars).
+  void collect_traces(std::vector<obs::Trace>& out) const override;
+  const obs::TraceSink& trace_sink() const { return trace_sink_; }
+
   const ServeConfig& config() const { return config_; }
   const Dataset& dataset() const override { return dataset_; }
   /// Layer-output cache (null unless embed_forward with embed_cache_bytes >
@@ -102,7 +112,8 @@ class InferenceServer : public ServingBackend {
   void process_batch_embed(std::vector<InferRequest>&& batch, EmbedForward& evaluator,
                            std::vector<vid_t>& seeds, DenseMatrix& logits);
   void finish_batch(std::vector<InferRequest>& batch, const DenseMatrix& logits,
-                    std::uint64_t snapshot_version, ServeClock::time_point service_begin);
+                    std::uint64_t snapshot_version, ServeClock::time_point service_begin,
+                    const obs::BatchStageTimes& stages);
   EmbedCache* embed_cache_ptr() const;
 
   const Dataset& dataset_;
@@ -118,13 +129,13 @@ class InferenceServer : public ServingBackend {
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
 
-  /// Per-tenant submitted/completed/shed tallies; guarded by tenants_mutex_
-  /// (touched once per request on the admission path and once per request at
-  /// completion — cheap next to sampling + forward).
-  mutable std::mutex tenants_mutex_;
-  std::vector<TenantCounters> tenant_lanes_;
-  void tenant_submitted(tenant_t tenant, bool admitted);
-  void tenant_completed(tenant_t tenant);
+  /// Sharded wait-free telemetry: per-tenant submitted/completed/shed
+  /// counters, per-stage and end-to-end latency histograms. Replaces the old
+  /// mutex-guarded tenant_lanes_ — workers tally into their own cache lines,
+  /// stats()/scrape() fold on read.
+  obs::MetricsRegistry metrics_;
+  obs::StageMetrics stage_metrics_{metrics_, "server"};
+  obs::TraceSink trace_sink_;
 
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::uint64_t> rejected_{0};

@@ -166,6 +166,26 @@ BackendStats ModelRegistry::stats() const {
   return s;
 }
 
+void ModelRegistry::scrape(obs::MetricsSnapshot& out) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = *entries_[i];
+    const obs::Labels labels{{"tenant", std::to_string(i)}};
+    const std::uint64_t submitted = e.submitted.load(std::memory_order_relaxed);
+    const std::uint64_t admitted = e.admitted.load(std::memory_order_relaxed);
+    out.add_counter("distgnn_registry_submitted_total", labels, static_cast<double>(submitted));
+    out.add_counter("distgnn_registry_admitted_total", labels, static_cast<double>(admitted));
+    out.add_counter("distgnn_registry_completed_total", labels,
+                    static_cast<double>(e.completed.load(std::memory_order_relaxed)));
+    out.add_counter("distgnn_registry_shed_total", labels,
+                    static_cast<double>(submitted - admitted));
+    e.backend->scrape(out);
+  }
+}
+
+void ModelRegistry::collect_traces(std::vector<obs::Trace>& out) const {
+  for (const auto& e : entries_) e->backend->collect_traces(out);
+}
+
 std::vector<LoadReport> run_registry_open_loop(ModelRegistry& registry,
                                                std::span<const TenantStream> streams) {
   struct StreamRun {

@@ -47,10 +47,10 @@
 
 namespace distgnn::serve {
 
-class ModelRegistry {
+class ModelRegistry : public obs::ScrapeSource {
  public:
   ModelRegistry() = default;
-  ~ModelRegistry() { stop(); }
+  ~ModelRegistry() override { stop(); }
 
   ModelRegistry(const ModelRegistry&) = delete;
   ModelRegistry& operator=(const ModelRegistry&) = delete;
@@ -99,6 +99,12 @@ class ModelRegistry {
   /// shed, where shed counts budget sheds and backend rejections — the
   /// backends themselves only ever see admitted traffic).
   BackendStats stats() const;
+
+  /// ScrapeSource over the whole registry: per-tenant registry-edge
+  /// counters (distgnn_registry_*) plus every entry backend's scrape — one
+  /// scrape of the registry walks every tenant's tower down to its leaves.
+  void scrape(obs::MetricsSnapshot& out) const override;
+  void collect_traces(std::vector<obs::Trace>& out) const override;
 
  private:
   struct Entry {

@@ -195,6 +195,15 @@ BackendStats ReplicaGroup::stats() const {
   return g;
 }
 
+void ReplicaGroup::scrape(obs::MetricsSnapshot& out) const {
+  out.add_counter("distgnn_group_publishes_total", {}, static_cast<double>(publishes()));
+  for (const auto& replica : replicas_) replica->scrape(out);
+}
+
+void ReplicaGroup::collect_traces(std::vector<obs::Trace>& out) const {
+  for (const auto& replica : replicas_) replica->collect_traces(out);
+}
+
 void ReplicaGroup::begin_requests(std::size_t n) {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] { return !publishing_; });

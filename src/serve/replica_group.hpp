@@ -96,6 +96,11 @@ class ReplicaGroup : public ServingBackend {
   int concurrency() const override;
   const Dataset& dataset() const override { return dataset_; }
   BackendStats stats() const override;
+  /// ScrapeSource: the group's own publish counter plus every replica's
+  /// scrape — sibling replicas emit the same series, which merge by
+  /// (name, labels) into group-wide totals.
+  void scrape(obs::MetricsSnapshot& out) const override;
+  void collect_traces(std::vector<obs::Trace>& out) const override;
 
   int num_replicas() const { return static_cast<int>(replicas_.size()); }
   ServingBackend& replica(int i) { return *replicas_[static_cast<std::size_t>(i)]; }

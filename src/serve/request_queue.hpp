@@ -43,6 +43,10 @@ struct InferRequest {
   ServeClock::time_point deadline = ServeClock::time_point::max();
   Priority priority = Priority::kHigh;
   tenant_t tenant = kDefaultTenant;
+  /// Stage trace for sampled requests (null = untraced). Written by the
+  /// submit thread before the push and by the owning worker after the pop;
+  /// the queue mutex orders the hand-off.
+  std::shared_ptr<obs::TraceContext> trace;
   std::function<void(InferResult&&)> done;  // invoked exactly once per request
 };
 

@@ -90,7 +90,7 @@ bool Router::submit(vid_t vertex, std::function<void(InferResult&&)> done) {
 
 bool Router::submit(vid_t vertex, ServeClock::time_point deadline, Priority priority,
                     std::function<void(InferResult&&)> done) {
-  return submit(vertex, RequestMeta{deadline, priority, kDefaultTenant}, std::move(done));
+  return submit(vertex, RequestMeta{deadline, priority, kDefaultTenant, nullptr}, std::move(done));
 }
 
 bool Router::submit(vid_t vertex, const RequestMeta& meta,
@@ -308,7 +308,7 @@ std::vector<std::optional<InferResult>> Router::infer_batch(std::span<const vid_
 std::vector<std::optional<InferResult>> Router::infer_batch(std::span<const vid_t> vertices,
                                                             ServeClock::time_point deadline,
                                                             Priority priority) {
-  return infer_batch(vertices, RequestMeta{deadline, priority, kDefaultTenant});
+  return infer_batch(vertices, RequestMeta{deadline, priority, kDefaultTenant, nullptr});
 }
 
 std::vector<std::optional<InferResult>> Router::infer_batch(std::span<const vid_t> vertices,
@@ -409,6 +409,33 @@ RouterStats Router::stats() const {
   return s;
 }
 
+void Router::scrape(obs::MetricsSnapshot& out) const {
+  const RouterStats s = stats();
+  out.add_counter("distgnn_router_submitted_total", {}, static_cast<double>(s.submitted));
+  out.add_counter("distgnn_router_admitted_total", {}, static_cast<double>(s.admitted));
+  out.add_counter("distgnn_router_completed_total", {}, static_cast<double>(s.completed));
+  out.add_counter("distgnn_router_shed_total", {{"reason", "deadline"}},
+                  static_cast<double>(s.shed_deadline));
+  out.add_counter("distgnn_router_shed_total", {{"reason", "priority"}},
+                  static_cast<double>(s.shed_priority));
+  out.add_counter("distgnn_router_shed_total", {{"reason", "queue_full"}},
+                  static_cast<double>(s.shed_queue_full));
+  out.add_counter("distgnn_router_shed_total", {{"reason", "budget"}},
+                  static_cast<double>(s.shed_budget));
+  for (const TenantCounters& lane : s.tenants) {
+    const obs::Labels labels{{"tenant", std::to_string(lane.tenant)}};
+    out.add_counter("distgnn_router_tenant_submitted_total", labels,
+                    static_cast<double>(lane.submitted));
+    out.add_counter("distgnn_router_tenant_completed_total", labels,
+                    static_cast<double>(lane.completed));
+    out.add_counter("distgnn_router_tenant_shed_total", labels,
+                    static_cast<double>(lane.shed));
+  }
+  group_.scrape(out);
+}
+
+void Router::collect_traces(std::vector<obs::Trace>& out) const { group_.collect_traces(out); }
+
 LoadReport run_router_open_loop(Router& router, const RouterLoadConfig& config) {
   const std::vector<double> offsets = generate_arrivals(config.arrivals, config.num_requests);
   ReplicaGroup& group = router.group();
@@ -446,7 +473,7 @@ LoadReport run_router_open_loop(Router& router, const RouterLoadConfig& config) 
     std::this_thread::sleep_until(begin + std::chrono::duration<double>(offsets[i]));
     const auto deadline = config.deadline_seconds > 0 ? ServeClock::now() + deadline_delta
                                                       : ServeClock::time_point::max();
-    const RequestMeta meta{deadline, priorities[i], config.tenant};
+    const RequestMeta meta{deadline, priorities[i], config.tenant, nullptr};
     const bool admitted = router.submit(targets[i], meta, [&](InferResult&& result) {
       latencies.record(result.latency_seconds);
       account(false);

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/scrape.hpp"
 #include "serve/replica_group.hpp"
 #include "serve/tenant.hpp"
 #include "serve/traffic_gen.hpp"
@@ -91,7 +92,7 @@ struct RouterStats {
   RouterStats since(const RouterStats& base) const;
 };
 
-class Router {
+class Router : public obs::ScrapeSource {
  public:
   Router(ReplicaGroup& group, RoutePolicy policy, AdmissionConfig admission = {});
 
@@ -120,6 +121,12 @@ class Router {
   std::vector<std::optional<InferResult>> infer_batch(std::span<const vid_t> vertices);
 
   RouterStats stats() const;
+  /// ScrapeSource: synthesizes distgnn_router_* counters from the admission
+  /// atomics (submitted/admitted/completed, sheds by reason, tenant lanes)
+  /// and recurses into the fronted group — one scrape of the Router walks
+  /// the whole tier below it.
+  void scrape(obs::MetricsSnapshot& out) const override;
+  void collect_traces(std::vector<obs::Trace>& out) const override;
   RoutePolicy policy() const { return policy_; }
   ReplicaGroup& group() { return group_; }
   bool tenant_mode() const { return !lanes_.empty(); }

@@ -162,50 +162,44 @@ bool ShardedServer::submit(vid_t vertex, const RequestMeta& meta,
                            std::function<void(InferResult&&)> done) {
   if (vertex < 0 || vertex >= dataset_.num_vertices())
     throw std::out_of_range("ShardedServer: vertex id out of range");
+  const auto enqueue = ServeClock::now();
   InferRequest request;
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   request.vertex = vertex;
-  request.enqueue = ServeClock::now();
+  request.enqueue = enqueue;
   request.deadline = meta.deadline;
   request.priority = meta.priority;
   request.tenant = meta.tenant;
   request.done = std::move(done);
+  // Trace stamping happens entirely before the push (the rank thread owns
+  // the request after the pop; the queue mutex orders the hand-off).
+  if (meta.trace) {
+    request.trace = meta.trace;
+  } else if (config_.trace_sample_rate > 0 &&
+             obs::trace_sampled(request.id, meta.tenant, config_.trace_sample_rate)) {
+    request.trace = std::make_shared<obs::TraceContext>(
+        request.id, meta.tenant, static_cast<std::int64_t>(vertex), enqueue);
+  }
+  const auto pre_push = ServeClock::now();
+  if (request.trace) {
+    request.trace->set_stage(obs::Stage::kAdmit, enqueue, pre_push);
+    request.trace->begin_stage(obs::Stage::kQueue, pre_push);
+  }
   const part_t target = owner_[static_cast<std::size_t>(vertex)];
   // Admitted is counted before the push so a drain() that starts after this
   // submit returns can never miss the request (the rejection path undoes it).
   admitted_.fetch_add(1, std::memory_order_release);
   if (queues_[static_cast<std::size_t>(target)]->try_push(std::move(request))) {
-    tenant_submitted(meta.tenant, /*admitted=*/true);
+    stage_metrics_.submitted.with(meta.tenant).add();
+    stage_metrics_.observe_stage(obs::Stage::kAdmit, meta.tenant,
+                                 std::chrono::duration<double>(pre_push - enqueue).count());
     return true;
   }
   admitted_.fetch_sub(1, std::memory_order_release);
   rejected_.fetch_add(1, std::memory_order_relaxed);
-  tenant_submitted(meta.tenant, /*admitted=*/false);
+  stage_metrics_.submitted.with(meta.tenant).add();
+  stage_metrics_.shed.with(meta.tenant).add();
   return false;
-}
-
-void ShardedServer::tenant_submitted(tenant_t tenant, bool admitted) {
-  std::lock_guard<std::mutex> lock(tenants_mutex_);
-  for (TenantCounters& lane : tenant_lanes_) {
-    if (lane.tenant != tenant) continue;
-    ++lane.submitted;
-    if (!admitted) ++lane.shed;
-    return;
-  }
-  TenantCounters lane;
-  lane.tenant = tenant;
-  lane.submitted = 1;
-  if (!admitted) lane.shed = 1;
-  tenant_lanes_.push_back(lane);
-}
-
-void ShardedServer::tenant_completed(tenant_t tenant) {
-  std::lock_guard<std::mutex> lock(tenants_mutex_);
-  for (TenantCounters& lane : tenant_lanes_) {
-    if (lane.tenant != tenant) continue;
-    ++lane.completed;
-    return;
-  }
 }
 
 std::size_t ShardedServer::queue_depth() const {
@@ -249,27 +243,86 @@ BackendStats ShardedServer::stats() const {
   }
   s.rejected = rejected_.load(std::memory_order_relaxed);  // counted at submit, not per rank
   s.publishes = holder_.num_publishes();
-  {
-    std::lock_guard<std::mutex> lock(tenants_mutex_);
-    s.tenants = tenant_lanes_;  // accounted at the server edge, not per rank
-  }
+  // Tenant lanes are accounted at the server edge, not per rank; they (and
+  // the latency fold) come straight out of the sharded metrics.
+  s.tenants.clear();
+  stage_metrics_.submitted.for_each(
+      [&](int id, const obs::Counter& c) { s.tenant_lane(id).submitted = c.value(); });
+  stage_metrics_.completed.for_each(
+      [&](int id, const obs::Counter& c) { s.tenant_lane(id).completed = c.value(); });
+  stage_metrics_.shed.for_each(
+      [&](int id, const obs::Counter& c) { s.tenant_lane(id).shed = c.value(); });
+  s.latency = obs::HistogramData{};
+  stage_metrics_.request_seconds.for_each(
+      [&](int, const obs::Histogram& h) { s.latency += h.snapshot(); });
   return s;
+}
+
+void ShardedServer::scrape(obs::MetricsSnapshot& out) const { metrics_.scrape(out); }
+
+void ShardedServer::collect_traces(std::vector<obs::Trace>& out) const {
+  trace_sink_.collect(out);
 }
 
 void ShardedServer::finish_requests(std::vector<InferRequest>& batch, const DenseMatrix& logits,
                                     std::uint64_t snapshot_version,
-                                    ServeClock::time_point service_begin, RankState& state) {
+                                    ServeClock::time_point service_begin, RankState& state,
+                                    const obs::BatchStageTimes& stages) {
   const auto now = ServeClock::now();
+  auto reply_begin = now;  // each request's reply window starts where the previous ended
   for (std::size_t r = 0; r < batch.size(); ++r) {
+    InferRequest& request = batch[r];
     InferResult result;
-    result.request_id = batch[r].id;
-    result.vertex = batch[r].vertex;
+    result.request_id = request.id;
+    result.vertex = request.vertex;
     result.logits.assign(logits.row(r), logits.row(r) + logits.cols());
-    result.latency_seconds = std::chrono::duration<double>(now - batch[r].enqueue).count();
+    result.latency_seconds = std::chrono::duration<double>(now - request.enqueue).count();
     result.snapshot_version = snapshot_version;
-    result.tenant = batch[r].tenant;
-    if (batch[r].done) batch[r].done(std::move(result));
-    tenant_completed(batch[r].tenant);
+    result.tenant = request.tenant;
+
+    // Batch-level stage windows stamped per request (see InferenceServer::
+    // finish_batch): queue ended when the rank popped the batch.
+    stage_metrics_.observe_stage(
+        obs::Stage::kQueue, request.tenant,
+        std::chrono::duration<double>(service_begin - request.enqueue).count());
+    if (stages.sample.valid())
+      stage_metrics_.observe_stage(obs::Stage::kSample, request.tenant,
+                                   stages.sample.duration_seconds());
+    if (stages.halo_wait.valid())
+      stage_metrics_.observe_stage(obs::Stage::kHaloWait, request.tenant,
+                                   stages.halo_wait.duration_seconds());
+    if (stages.embed_lookup.valid())
+      stage_metrics_.observe_stage(obs::Stage::kEmbedLookup, request.tenant,
+                                   stages.embed_lookup.duration_seconds());
+    if (stages.forward.valid())
+      stage_metrics_.observe_stage(obs::Stage::kForward, request.tenant,
+                                   stages.forward.duration_seconds());
+    if (request.trace) {
+      obs::TraceContext& trace = *request.trace;
+      trace.end_stage(obs::Stage::kQueue, service_begin);
+      if (stages.sample.valid()) trace.set_stage(obs::Stage::kSample, stages.sample);
+      if (stages.halo_wait.valid()) trace.set_stage(obs::Stage::kHaloWait, stages.halo_wait);
+      if (stages.embed_lookup.valid())
+        trace.set_stage(obs::Stage::kEmbedLookup, stages.embed_lookup);
+      if (stages.forward.valid()) trace.set_stage(obs::Stage::kForward, stages.forward);
+      // Trace reply span starts at batch finish so a later rider's wait on
+      // its predecessors' callbacks stays inside its spans (coverage); the
+      // histogram keeps the chained marginal window below.
+      trace.begin_stage(obs::Stage::kReply, now);
+    }
+
+    if (request.done) request.done(std::move(result));
+    const auto reply_end = ServeClock::now();
+    stage_metrics_.observe_stage(obs::Stage::kReply, request.tenant,
+                                 std::chrono::duration<double>(reply_end - reply_begin).count());
+    stage_metrics_.request_seconds.with(request.tenant)
+        .observe(std::chrono::duration<double>(reply_end - request.enqueue).count());
+    stage_metrics_.completed.with(request.tenant).add();
+    if (request.trace) {
+      request.trace->end_stage(obs::Stage::kReply, reply_end);
+      trace_sink_.publish(request.trace->finish(reply_end));
+    }
+    reply_begin = reply_end;
   }
 
   const auto service_ns = static_cast<std::uint64_t>(
@@ -334,6 +387,7 @@ void ShardedServer::run_classic_rank(Communicator& comm, part_t me) {
     std::vector<InferRequest> requests;
     std::shared_ptr<const ModelSnapshot> snapshot;
     ServeClock::time_point service_begin;
+    ServeClock::time_point sample_end;  // sampling done; halo_wait starts here
   };
   const int depth = config_.prefetch_depth;
   std::vector<Slot> slots(static_cast<std::size_t>(depth));
@@ -361,6 +415,7 @@ void ShardedServer::run_classic_rank(Communicator& comm, part_t me) {
       slot->halo.minibatches.push_back(
           sample_minibatch(in_csr, seed, config_.fanouts, rng, edge_types));
     }
+    slot->sample_end = ServeClock::now();
     fetcher.begin_fetch(slot->halo);
     in_flight.push_back(slot);
     return true;
@@ -384,10 +439,19 @@ void ShardedServer::run_classic_rank(Communicator& comm, part_t me) {
     Slot* slot = in_flight.front();
     in_flight.pop_front();
     fetcher.finish_fetch(slot->halo);  // FIFO channels: finish in begin order
+    // halo_wait spans begin_fetch -> finish_fetch return: ring residency
+    // while peers reply (the time prefetch overlaps away) plus any blocked
+    // tail — exactly the window a request spends waiting on remote rows.
+    const auto halo_end = ServeClock::now();
     slot->snapshot->forward_batch(slot->halo.minibatches, slot->halo.inputs.cview(), scratch,
                                   logits);
+    const auto forward_end = ServeClock::now();
+    obs::BatchStageTimes stages;
+    stages.sample = obs::make_span(slot->service_begin, slot->sample_end);
+    stages.halo_wait = obs::make_span(slot->sample_end, halo_end);
+    stages.forward = obs::make_span(halo_end, forward_end);
     finish_requests(slot->requests, logits, slot->snapshot->version(), slot->service_begin,
-                    state);
+                    state, stages);
     flush_halo();
     slot->snapshot.reset();
     free_slots.push_back(slot);
@@ -426,7 +490,9 @@ void ShardedServer::run_embed_rank(Communicator& comm, part_t me) {
     seeds.clear();
     for (const InferRequest& request : batch) seeds.push_back(request.vertex);
     evaluator.infer(*snapshot, seeds, logits);
-    finish_requests(batch, logits, snapshot->version(), service_begin, state);
+    obs::BatchStageTimes stages;
+    stages.embed_lookup = obs::make_span(service_begin, ServeClock::now());
+    finish_requests(batch, logits, snapshot->version(), service_begin, state, stages);
   }
 
   done_ranks_.fetch_add(1, std::memory_order_acq_rel);

@@ -47,6 +47,9 @@
 
 #include "comm/world.hpp"
 #include "graph/datasets.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scrape.hpp"
+#include "obs/trace.hpp"
 #include "partition/libra.hpp"
 #include "serve/backend.hpp"
 #include "serve/embed_cache.hpp"
@@ -115,6 +118,12 @@ class ShardedServer : public ServingBackend {
   /// Aggregate over ranks; children[r] is rank r's detail (halo counters,
   /// per-rank caches, queue depth).
   BackendStats stats() const override;
+  /// ScrapeSource: fold the shard's stage histograms (including halo_wait)
+  /// and tenant counters into `out`.
+  void scrape(obs::MetricsSnapshot& out) const override;
+  /// Completed sampled stage traces across all ranks (one shared sink).
+  void collect_traces(std::vector<obs::Trace>& out) const override;
+  const obs::TraceSink& trace_sink() const { return trace_sink_; }
 
   int num_ranks() const { return num_parts_; }
   /// Vertex -> owning rank (the routing table).
@@ -129,11 +138,9 @@ class ShardedServer : public ServingBackend {
   void rank_loop(Communicator& comm);
   void run_classic_rank(Communicator& comm, part_t me);
   void run_embed_rank(Communicator& comm, part_t me);
-  void tenant_submitted(tenant_t tenant, bool admitted);
-  void tenant_completed(tenant_t tenant);
   void finish_requests(std::vector<InferRequest>& batch, const DenseMatrix& logits,
                        std::uint64_t snapshot_version, ServeClock::time_point service_begin,
-                       RankState& state);
+                       RankState& state, const obs::BatchStageTimes& stages);
   EmbedCache* embed_cache_ptr(part_t rank) const;
 
   const Dataset& dataset_;
@@ -152,10 +159,13 @@ class ShardedServer : public ServingBackend {
   std::vector<std::unique_ptr<RankState>> rank_states_;
   SnapshotHolder holder_;
 
-  // Server-level tenant lanes (ranks are an implementation detail of the
-  // shard, so tenants are accounted where requests enter and leave).
-  mutable std::mutex tenants_mutex_;
-  std::vector<TenantCounters> tenant_lanes_;
+  // Server-level telemetry (ranks are an implementation detail of the shard,
+  // so tenants are accounted where requests enter and leave): sharded
+  // wait-free counters + stage/latency histograms, one trace sink shared by
+  // every rank thread.
+  obs::MetricsRegistry metrics_;
+  obs::StageMetrics stage_metrics_{metrics_, "sharded"};
+  obs::TraceSink trace_sink_;
 
   std::atomic<bool> running_{false};
   std::atomic<int> done_ranks_{0};

@@ -15,7 +15,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
+
+namespace distgnn::obs {
+class TraceContext;
+}  // namespace distgnn::obs
 
 namespace distgnn::serve {
 
@@ -38,6 +43,10 @@ struct RequestMeta {
   ServeClock::time_point deadline = ServeClock::time_point::max();
   Priority priority = Priority::kHigh;
   tenant_t tenant = kDefaultTenant;
+  /// Stage trace being assembled for this request, set by whichever layer
+  /// made the sampling decision first (null = untraced). Leaves honor a
+  /// pre-attached context instead of re-deciding.
+  std::shared_ptr<obs::TraceContext> trace;
 };
 
 /// Per-tenant service-level objective and fairness knobs.

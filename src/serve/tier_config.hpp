@@ -31,6 +31,11 @@ struct TierConfig {
   /// composed answers comparable bit for bit.
   std::uint64_t sample_seed = 1;
 
+  /// Fraction of requests that carry a stage trace (0 = tracing off). The
+  /// decision is deterministic in (request id, tenant) — obs::trace_sampled —
+  /// so layers agree without coordination and tests can pin the sampled set.
+  double trace_sample_rate = 0;
+
   /// Embedding-cached serving: when true, requests run through EmbedForward
   /// (canonical per-(vertex, layer) sampling) and freshly computed layer
   /// outputs are memoized in an EmbedCache keyed by (vertex, layer, snapshot

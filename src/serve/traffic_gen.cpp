@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "util/table.hpp"
 
 namespace distgnn::serve {
@@ -40,21 +41,29 @@ double LatencyRecorder::mean_seconds() const {
   return total / static_cast<double>(samples_.size());
 }
 
+LatencyRecorder& LatencyRecorder::operator+=(const LatencyRecorder& other) {
+  if (this == &other) return *this;
+  std::vector<double> theirs;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    theirs = other.samples_;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.insert(samples_.end(), theirs.begin(), theirs.end());
+  return *this;
+}
+
 std::vector<LatencyRecorder::Bucket> LatencyRecorder::histogram() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  // Direct log2 bucket indexing: bucket k covers [1µs·2^(k-1), 1µs·2^k), so
-  // the whole pass is O(samples) regardless of how wide the tail spreads.
+  // Shared log2 bucket geometry (obs::latency_bucket): bucket k covers
+  // [1µs·2^(k-1), 1µs·2^k), so the pass is O(samples) regardless of how wide
+  // the tail spreads — and the printed buckets can never drift from the
+  // scrapeable obs histograms.
   std::map<int, std::size_t> counts;
-  for (const double s : samples_) {
-    int k = 0;
-    if (s >= 1e-6) k = static_cast<int>(std::floor(std::log2(s / 1e-6))) + 1;
-    while (s >= 1e-6 * std::ldexp(1.0, k)) ++k;  // guard log2 rounding at bucket edges
-    ++counts[k];
-  }
+  for (const double s : samples_) ++counts[obs::latency_bucket(s)];
   std::vector<Bucket> buckets;
   buckets.reserve(counts.size());
-  for (const auto& [k, count] : counts)
-    buckets.push_back({1e-6 * std::ldexp(1.0, k), count});
+  for (const auto& [k, count] : counts) buckets.push_back({obs::bucket_upper_seconds(k), count});
   return buckets;
 }
 
@@ -242,7 +251,6 @@ LoadReport TrafficGenerator::run_closed_loop(int num_clients, int requests_each)
   if (num_clients < 1 || requests_each < 1)
     throw std::invalid_argument("run_closed_loop: clients and requests must be >= 1");
   const ServerStats before = server_.stats();
-  LatencyRecorder latencies;
 
   // Hand each client its own pre-drawn vertex list so the workload is
   // deterministic regardless of thread interleaving.
@@ -252,19 +260,26 @@ LoadReport TrafficGenerator::run_closed_loop(int num_clients, int requests_each)
     for (int i = 0; i < requests_each; ++i) list.push_back(random_vertex());
   }
 
+  // Each client records into its own recorder; the fold at the end is the
+  // only cross-thread touch, so the measurement adds no lock contention of
+  // its own to the closed loop.
+  std::vector<LatencyRecorder> per_client(static_cast<std::size_t>(num_clients));
   const auto begin = ServeClock::now();
   std::vector<std::thread> clients;
   clients.reserve(static_cast<std::size_t>(num_clients));
   for (int c = 0; c < num_clients; ++c) {
     clients.emplace_back([&, c] {
+      LatencyRecorder& mine = per_client[static_cast<std::size_t>(c)];
       for (const vid_t v : targets[static_cast<std::size_t>(c)]) {
         const InferResult result = server_.infer_sync(v);
-        latencies.record(result.latency_seconds);
+        mine.record(result.latency_seconds);
       }
     });
   }
   for (auto& t : clients) t.join();
   const double duration = std::chrono::duration<double>(ServeClock::now() - begin).count();
+  LatencyRecorder latencies;
+  for (const LatencyRecorder& r : per_client) latencies += r;
 
   const ServerStats after = server_.stats();
   const auto total = static_cast<std::uint64_t>(num_clients) *

@@ -21,13 +21,20 @@
 namespace distgnn::serve {
 
 /// Thread-safe latency sink: exact quantiles from retained samples plus a
-/// log2-bucketed histogram for printing.
+/// log2-bucketed histogram for printing (bucket geometry shared with the
+/// obs metrics registry via obs::latency_bucket, so the two can never
+/// drift).
 class LatencyRecorder {
  public:
   void record(double seconds);
   std::size_t count() const;
   double quantile(double q) const;  // q in [0, 1]; 0 samples -> 0
   double mean_seconds() const;
+
+  /// Folds another recorder's samples into this one. Per-worker recorders
+  /// merge on scrape — each client thread records into its own recorder
+  /// contention-free, then the driver folds them once at the end.
+  LatencyRecorder& operator+=(const LatencyRecorder& other);
 
   struct Bucket {
     double upper_seconds = 0;  // exclusive upper bound

@@ -1,0 +1,446 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/datasets.hpp"
+#include "obs/expose.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scrape.hpp"
+#include "obs/trace.hpp"
+#include "partition/libra.hpp"
+#include "serve/composed_tier.hpp"
+#include "serve/inference_server.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/model_snapshot.hpp"
+#include "serve/replica_group.hpp"
+#include "serve/traffic_gen.hpp"
+
+namespace distgnn {
+namespace {
+
+using namespace distgnn::serve;
+
+// ---------------------------------------------------------------------------
+// Histogram bucket geometry
+
+TEST(ObsMetrics, BucketEdges) {
+  // Bucket 0 holds everything below 1µs (and junk inputs).
+  EXPECT_EQ(obs::latency_bucket(0.0), 0);
+  EXPECT_EQ(obs::latency_bucket(-1.0), 0);
+  EXPECT_EQ(obs::latency_bucket(5e-7), 0);
+  // Bucket k covers [1µs·2^(k-1), 1µs·2^k): edges land in the upper bucket.
+  EXPECT_EQ(obs::latency_bucket(1e-6), 1);
+  EXPECT_EQ(obs::latency_bucket(1.5e-6), 1);
+  EXPECT_EQ(obs::latency_bucket(2e-6), 2);
+  EXPECT_EQ(obs::latency_bucket(1e-3), 10);      // 1000µs in [512µs, 1024µs)
+  EXPECT_EQ(obs::latency_bucket(1.024e-3), 11);  // the edge opens bucket 11
+  EXPECT_EQ(obs::latency_bucket(1.1e-3), 11);
+  // Every bucket's upper bound maps back to the next bucket, and anything
+  // just below stays put — the bidirectional rounding guard.
+  for (int k = 1; k < obs::kNumBuckets - 1; ++k) {
+    const double upper = obs::bucket_upper_seconds(k);
+    EXPECT_EQ(obs::latency_bucket(upper), k + 1) << "k=" << k;
+    EXPECT_EQ(obs::latency_bucket(upper * 0.999), k) << "k=" << k;
+  }
+  // Clamped at the top.
+  EXPECT_EQ(obs::latency_bucket(1e9), obs::kNumBuckets - 1);
+}
+
+TEST(ObsMetrics, HistogramQuantileWithinBucketFactor) {
+  obs::MetricsRegistry registry(2);
+  obs::Histogram& h = registry.histogram("h");
+  for (int i = 0; i < 1000; ++i) h.observe(1e-3);  // all in one bucket
+  const obs::HistogramData data = h.snapshot();
+  EXPECT_EQ(data.count, 1000u);
+  // Log2 buckets: the estimate is within sqrt(2) of the true value.
+  EXPECT_GE(data.quantile(0.5), 1e-3 / std::sqrt(2.0) * 0.99);
+  EXPECT_LE(data.quantile(0.5), 1e-3 * std::sqrt(2.0) * 1.01);
+  EXPECT_NEAR(data.mean_seconds(), 1e-3, 1e-5);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded registry: wait-free writers, fold on scrape
+
+TEST(ObsMetrics, ConcurrentShardFoldMatchesSerialCount) {
+  obs::MetricsRegistry registry(8);
+  obs::Counter& counter = registry.counter("distgnn_test_total");
+  obs::Histogram& hist = registry.histogram("distgnn_test_seconds");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add();
+        hist.observe(1e-4);
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const obs::HistogramData data = hist.snapshot();
+  EXPECT_EQ(data.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_sum = 0;
+  for (const std::uint64_t b : data.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, data.count);
+}
+
+TEST(ObsMetrics, SnapshotFoldsDuplicateSeries) {
+  obs::MetricsSnapshot snap;
+  snap.add_counter("c", {{"tenant", "0"}}, 3);
+  snap.add_counter("c", {{"tenant", "0"}}, 4);  // same series: folds
+  snap.add_counter("c", {{"tenant", "1"}}, 5);  // different labels: new point
+  EXPECT_EQ(snap.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap.find("c", {{"tenant", "0"}})->value, 7);
+  EXPECT_DOUBLE_EQ(snap.counter_total("c"), 12);
+}
+
+// ---------------------------------------------------------------------------
+// Trace sampling + span structure
+
+TEST(ObsTrace, SamplingRateHonored) {
+  EXPECT_FALSE(obs::trace_sampled(123, 0, 0.0));
+  EXPECT_TRUE(obs::trace_sampled(123, 0, 1.0));
+  // Deterministic: the same (id, tenant) always answers the same.
+  for (std::uint64_t id = 0; id < 64; ++id)
+    EXPECT_EQ(obs::trace_sampled(id, 3, 0.5), obs::trace_sampled(id, 3, 0.5));
+  // Statistically honest: a rate-r fraction of ids is sampled (splitmix64
+  // mixes well, so 20k ids land within a few percent).
+  for (const double rate : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    constexpr int kIds = 20000;
+    for (std::uint64_t id = 0; id < kIds; ++id)
+      if (obs::trace_sampled(id, 1, rate)) ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / kIds, rate, 0.02) << "rate=" << rate;
+  }
+}
+
+TEST(ObsTrace, SinkRingBoundedAndTopK) {
+  obs::TraceSink sink(/*ring_capacity=*/8, /*top_k=*/2);
+  for (int i = 0; i < 32; ++i) {
+    obs::Trace t;
+    t.request_id = static_cast<std::uint64_t>(i);
+    t.begin_seconds = 0;
+    t.end_seconds = 1e-3 * (i % 7 + 1);  // ids 5,6,12,13,... are slowest
+    sink.publish(t);
+  }
+  EXPECT_EQ(sink.published(), 32u);
+  EXPECT_LE(sink.ring_snapshot().size(), 8u);
+  const std::vector<obs::Trace> slow = sink.slowest();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_DOUBLE_EQ(slow[0].total_seconds(), 7e-3);
+  EXPECT_GE(slow[0].total_seconds(), slow[1].total_seconds());
+  // collect = ring + non-resident exemplars, deduplicated.
+  std::vector<obs::Trace> all;
+  sink.collect(all);
+  EXPECT_GE(all.size(), 8u);
+  for (std::size_t i = 0; i < all.size(); ++i)
+    for (std::size_t j = i + 1; j < all.size(); ++j)
+      EXPECT_FALSE(all[i].request_id == all[j].request_id);
+}
+
+// Drives a real server at 100% sampling and checks every collected trace:
+// stages are ordered, nested inside [begin, end], and the spans cover >= 90%
+// of the measured end-to-end latency (the "stamped where the work happens"
+// acceptance bar — a reconstructed-at-the-edge trace could not pass it).
+TEST(ObsTrace, ServerTracesOrderedAndCoverLatency) {
+  LearnableSbmParams params;
+  params.num_vertices = 256;
+  params.num_classes = 4;
+  params.avg_degree = 8;
+  params.feature_dim = 16;
+  params.seed = 5;
+  const Dataset dataset = make_learnable_sbm(params);
+  ModelSpec spec;
+  spec.feature_dim = dataset.feature_dim();
+  spec.hidden_dim = 16;
+  spec.num_classes = dataset.num_classes;
+  spec.num_layers = 2;
+
+  ServeConfig cfg;
+  cfg.num_workers = 2;
+  cfg.max_batch = 8;
+  cfg.fanouts = {4, 4};
+  cfg.trace_sample_rate = 1.0;
+  InferenceServer server(dataset, cfg);
+  server.publish(ModelSnapshot::random(spec, /*seed=*/1, /*version=*/1));
+  server.start();
+  TrafficGenerator traffic(server, /*seed=*/3);
+  (void)traffic.run_closed_loop(/*num_clients=*/4, /*requests_each=*/25);
+  server.drain();
+
+  std::vector<obs::Trace> traces;
+  server.collect_traces(traces);
+  ASSERT_FALSE(traces.empty());
+  constexpr double kEps = 1e-9;
+  for (const obs::Trace& t : traces) {
+    const obs::Span& admit = t.span(obs::Stage::kAdmit);
+    const obs::Span& queue = t.span(obs::Stage::kQueue);
+    const obs::Span& sample = t.span(obs::Stage::kSample);
+    const obs::Span& forward = t.span(obs::Stage::kForward);
+    const obs::Span& reply = t.span(obs::Stage::kReply);
+    ASSERT_TRUE(admit.valid() && queue.valid() && sample.valid() && forward.valid() &&
+                reply.valid());
+    // Ordered and contiguous by construction: admit ends where queue begins,
+    // queue ends at the worker pop where the batch sample window begins.
+    EXPECT_GE(admit.begin_seconds, t.begin_seconds - kEps);
+    EXPECT_GE(queue.begin_seconds, admit.end_seconds - kEps);
+    EXPECT_GE(sample.begin_seconds, queue.end_seconds - kEps);
+    EXPECT_GE(forward.begin_seconds, sample.end_seconds - kEps);
+    EXPECT_GE(reply.end_seconds, reply.begin_seconds - kEps);
+    EXPECT_LE(reply.end_seconds, t.end_seconds + kEps);
+    // The single-server classic path never waits on halos or embed lookups.
+    EXPECT_FALSE(t.span(obs::Stage::kHaloWait).valid());
+    EXPECT_FALSE(t.span(obs::Stage::kEmbedLookup).valid());
+    EXPECT_GE(t.coverage(), 0.9) << "request " << t.request_id;
+  }
+
+  // Sub-sampling: a 30% rate traces roughly (deterministically, not exactly)
+  // 30% of requests, and never more than all of them.
+  cfg.trace_sample_rate = 0.3;
+  InferenceServer sampled(dataset, cfg);
+  sampled.publish(ModelSnapshot::random(spec, /*seed=*/1, /*version=*/1));
+  sampled.start();
+  TrafficGenerator traffic2(sampled, /*seed=*/4);
+  (void)traffic2.run_closed_loop(/*num_clients=*/4, /*requests_each=*/50);
+  sampled.drain();
+  const double frac =
+      static_cast<double>(sampled.trace_sink().published()) / 200.0;
+  EXPECT_GT(frac, 0.1);
+  EXPECT_LT(frac, 0.6);
+  sampled.stop();
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Exposition round-trip
+
+TEST(ObsExpose, PrometheusRoundTrip) {
+  obs::MetricsRegistry registry(4);
+  registry.counter("distgnn_test_requests_total", {{"tenant", "0"}}).add(41);
+  registry.counter("distgnn_test_requests_total", {{"tenant", "1"}}).add(7);
+  obs::Histogram& h =
+      registry.histogram("distgnn_test_latency_seconds", {{"stage", "forward"}});
+  h.observe(1e-4);
+  h.observe(2.5e-4);
+  h.observe(3e-3);
+
+  obs::MetricsSnapshot snap;
+  registry.scrape(snap);
+  const std::string text = obs::render_prometheus(snap);
+  EXPECT_NE(text.find("# TYPE distgnn_test_requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("distgnn_test_requests_total{tenant=\"0\"} 41"), std::string::npos);
+  EXPECT_NE(text.find("_bucket{stage=\"forward\",le=\"+Inf\"} 3"), std::string::npos);
+
+  const obs::MetricsSnapshot parsed = obs::parse_prometheus(text);
+  const obs::MetricPoint* c0 = parsed.find("distgnn_test_requests_total", {{"tenant", "0"}});
+  ASSERT_NE(c0, nullptr);
+  EXPECT_DOUBLE_EQ(c0->value, 41);
+  EXPECT_DOUBLE_EQ(parsed.counter_total("distgnn_test_requests_total"), 48);
+  const obs::MetricPoint* ph =
+      parsed.find("distgnn_test_latency_seconds", {{"stage", "forward"}});
+  ASSERT_NE(ph, nullptr);
+  ASSERT_TRUE(ph->is_histogram);
+  const obs::HistogramData& original =
+      snap.find("distgnn_test_latency_seconds", {{"stage", "forward"}})->histogram;
+  EXPECT_EQ(ph->histogram.count, original.count);
+  EXPECT_EQ(ph->histogram.buckets, original.buckets);
+  EXPECT_NEAR(ph->histogram.sum_seconds, original.sum_seconds, 1e-12);
+
+  // JSON rendering sanity: every series name appears.
+  const std::string json = obs::render_json(snap);
+  EXPECT_NE(json.find("distgnn_test_requests_total"), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
+}
+
+TEST(ObsExpose, ChromeTraceContainsStageEvents) {
+  obs::Trace t;
+  t.request_id = 9;
+  t.tenant = 2;
+  t.begin_seconds = 10.0;
+  t.end_seconds = 10.01;
+  t.spans[static_cast<std::size_t>(obs::Stage::kQueue)] = obs::Span{10.0, 10.004};
+  t.spans[static_cast<std::size_t>(obs::Stage::kForward)] = obs::Span{10.004, 10.009};
+  const obs::Trace traces[] = {t};
+  const std::string json = obs::render_chrome_trace(traces);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"queue\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"forward\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_EQ(json.find("\"name\":\"admit\""), std::string::npos);  // span never ran
+}
+
+// ---------------------------------------------------------------------------
+// LatencyRecorder folding
+
+TEST(ObsLatencyRecorder, FoldMergesSamples) {
+  LatencyRecorder a, b;
+  a.record(1e-3);
+  a.record(2e-3);
+  b.record(3e-3);
+  b.record(4e-3);
+  a += b;
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_NEAR(a.mean_seconds(), 2.5e-3, 1e-9);
+  EXPECT_EQ(b.count(), 2u);  // source unchanged
+  a += a;                    // self-fold is a no-op, not a double
+  EXPECT_EQ(a.count(), 4u);
+  // Histogram buckets share the obs geometry.
+  const auto buckets = a.histogram();
+  ASSERT_FALSE(buckets.empty());
+  std::size_t total = 0;
+  for (const auto& bucket : buckets) {
+    EXPECT_DOUBLE_EQ(bucket.upper_seconds,
+                     obs::bucket_upper_seconds(obs::latency_bucket(bucket.upper_seconds * 0.99)));
+    total += bucket.count;
+  }
+  EXPECT_EQ(total, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Tenant-lane fold consistency
+
+TEST(ObsTenantFold, SyntheticStrictAndEdgeModes) {
+  BackendStats parent;
+  BackendStats child1, child2;
+  child1.tenant_lane(0).submitted = 10;
+  child1.tenant_lane(0).completed = 9;
+  child1.tenant_lane(0).shed = 1;
+  child2.tenant_lane(0).submitted = 5;
+  child2.tenant_lane(0).completed = 5;
+  parent.children = {child1, child2};
+  parent.tenant_lane(0).submitted = 15;
+  parent.tenant_lane(0).completed = 14;
+  parent.tenant_lane(0).shed = 1;
+  EXPECT_TRUE(check_tenant_fold(parent, /*edge_authoritative=*/false).consistent);
+
+  // Edge mode tolerates parent-side sheds the children never saw...
+  parent.tenant_lane(0).submitted = 20;
+  parent.tenant_lane(0).shed = 6;
+  EXPECT_FALSE(check_tenant_fold(parent, /*edge_authoritative=*/false).consistent);
+  EXPECT_TRUE(check_tenant_fold(parent, /*edge_authoritative=*/true).consistent);
+
+  // ...but completed must match the fold exactly in both modes.
+  parent.tenant_lane(0).completed = 13;
+  const TenantFoldReport bad = check_tenant_fold(parent, /*edge_authoritative=*/true);
+  EXPECT_FALSE(bad.consistent);
+  EXPECT_FALSE(bad.detail.empty());
+}
+
+TEST(ObsTenantFold, LiveReplicaGroupIsStrictlyConsistent) {
+  LearnableSbmParams params;
+  params.num_vertices = 256;
+  params.num_classes = 4;
+  params.avg_degree = 8;
+  params.feature_dim = 16;
+  params.seed = 5;
+  const Dataset dataset = make_learnable_sbm(params);
+  ModelSpec spec;
+  spec.feature_dim = dataset.feature_dim();
+  spec.hidden_dim = 16;
+  spec.num_classes = dataset.num_classes;
+  spec.num_layers = 2;
+
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  cfg.max_batch = 4;
+  cfg.fanouts = {4, 4};
+  ReplicaGroup group(dataset, cfg, /*replicas=*/2);
+  group.publish(ModelSnapshot::random(spec, /*seed=*/1, /*version=*/1));
+  group.start();
+  std::vector<vid_t> vertices;
+  for (vid_t v = 0; v < 40; ++v) vertices.push_back(v % 256);
+  RequestMeta meta;
+  meta.tenant = 1;
+  (void)group.infer_batch(vertices, meta);
+  group.drain();
+  BackendStats stats = group.stats();
+  group.stop();
+  const TenantFoldReport report = check_tenant_fold(stats, /*edge_authoritative=*/false);
+  EXPECT_TRUE(report.consistent) << report.detail;
+  EXPECT_EQ(stats.tenant_lane(1).completed, 40u);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance walk: one scrape of a ModelRegistry whose tenants sit on an
+// R x P ComposedTier yields per-tenant stage histograms — admit, queue,
+// sample, halo_wait, forward — in valid Prometheus text.
+
+TEST(ObsScrape, RegistryOverComposedTierExposesAllStages) {
+  LearnableSbmParams params;
+  params.num_vertices = 256;
+  params.num_classes = 4;
+  params.avg_degree = 8;
+  params.feature_dim = 16;
+  params.seed = 5;
+  const Dataset dataset = make_learnable_sbm(params);
+  ModelSpec spec;
+  spec.feature_dim = dataset.feature_dim();
+  spec.hidden_dim = 16;
+  spec.num_classes = dataset.num_classes;
+  spec.num_layers = 2;
+  const auto snapshot = ModelSnapshot::random(spec, /*seed=*/1, /*version=*/1);
+  const EdgePartition partition = partition_libra(dataset.graph.coo(), /*num_parts=*/2);
+
+  ModelRegistry registry;
+  std::vector<tenant_t> tenants;
+  for (const char* name : {"alpha", "bravo"}) {
+    ComposedConfig cfg;
+    cfg.replicas = 2;
+    cfg.shard.max_batch = 4;
+    cfg.shard.fanouts = {4, 4};
+    cfg.shard.trace_sample_rate = 1.0;
+    TenantSlo slo;
+    slo.name = name;
+    tenants.push_back(
+        registry.add(slo, std::make_unique<ComposedTier>(dataset, partition, cfg)));
+  }
+  for (const tenant_t t : tenants) registry.publish(t, snapshot);
+  registry.start();
+
+  std::vector<vid_t> vertices;
+  for (vid_t v = 0; v < 32; ++v) vertices.push_back((v * 7) % 256);
+  for (const tenant_t t : tenants) {
+    const auto results = registry.infer_batch(t, vertices);
+    for (const auto& r : results) EXPECT_TRUE(r.has_value());
+  }
+  for (const tenant_t t : tenants) registry.backend(t).drain();
+
+  // One scrape walks every tenant's tower down to the sharded ranks.
+  obs::MetricsSnapshot snap;
+  registry.scrape(snap);
+  registry.stop();
+
+  for (const tenant_t t : tenants) {
+    const std::string id = std::to_string(t);
+    EXPECT_GE(snap.find("distgnn_registry_completed_total", {{"tenant", id}})->value, 32.0);
+    for (const char* stage : {"admit", "queue", "sample", "halo_wait", "forward"}) {
+      const obs::MetricPoint* point =
+          snap.find("distgnn_sharded_stage_seconds", {{"stage", stage}, {"tenant", id}});
+      ASSERT_NE(point, nullptr) << "stage=" << stage << " tenant=" << id;
+      EXPECT_FALSE(point->histogram.empty()) << "stage=" << stage << " tenant=" << id;
+    }
+  }
+  EXPECT_GE(snap.counter_total("distgnn_router_completed_total"), 64.0);
+
+  // Valid Prometheus text: the round-trip parser accepts every line and
+  // preserves the per-tenant stage histograms.
+  const obs::MetricsSnapshot parsed = obs::parse_prometheus(obs::render_prometheus(snap));
+  for (const tenant_t t : tenants) {
+    const obs::MetricPoint* halo = parsed.find(
+        "distgnn_sharded_stage_seconds", {{"stage", "halo_wait"}, {"tenant", std::to_string(t)}});
+    ASSERT_NE(halo, nullptr);
+    EXPECT_FALSE(halo->histogram.empty());
+  }
+
+  // The sampled traces from the grid are collectable through the registry.
+  std::vector<obs::Trace> traces;
+  registry.collect_traces(traces);
+  EXPECT_FALSE(traces.empty());
+}
+
+}  // namespace
+}  // namespace distgnn
