@@ -125,8 +125,8 @@ void run_sharded_halo(benchmark::State& state, int prefetch_depth) {
   cfg.fanouts = {10, 10};
   cfg.prefetch_depth = prefetch_depth;
 
-  // Direct long-lived ShardedServer (serve_sharded is deprecated); rebuilt
-  // per iteration so every measurement covers a cold tier like before.
+  // Direct long-lived ShardedServer (the serve_sharded wrapper is gone);
+  // rebuilt per iteration so every measurement covers a cold tier like before.
   BackendStats last;
   obs::MetricsSnapshot scrape;
   for (auto _ : state) {

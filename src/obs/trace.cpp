@@ -13,6 +13,9 @@ const char* stage_name(Stage stage) {
     case Stage::kEmbedLookup: return "embed_lookup";
     case Stage::kForward: return "forward";
     case Stage::kReply: return "reply";
+    case Stage::kApply: return "apply";
+    case Stage::kInvalidate: return "invalidate";
+    case Stage::kRepartition: return "repartition";
   }
   return "?";
 }

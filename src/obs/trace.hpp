@@ -41,8 +41,12 @@ enum class Stage : std::uint8_t {
   kEmbedLookup,
   kForward,
   kReply,
+  // Streaming graph-update stages (src/stream): per-delta, not per-request.
+  kApply,        // barrier window: graph swap + feature-row writes
+  kInvalidate,   // cache epoch advance / targeted eviction
+  kRepartition,  // off-barrier prepare: CSR rebuild + incremental libra
 };
-inline constexpr int kNumStages = 7;
+inline constexpr int kNumStages = 10;
 
 /// "admit", "queue", ... — the metric label and trace_event name.
 const char* stage_name(Stage stage);

@@ -34,6 +34,54 @@ EdgePartition make_result(part_t num_parts, std::size_t num_edges) {
   return ep;
 }
 
+/// Greedy vertex-cut rule shared by the full and incremental partitioners:
+/// prefer the least-loaded partition that already holds BOTH endpoints (no
+/// new clone at all), then one holding EITHER endpoint (one new clone), then
+/// the globally least-loaded. Candidates at/above `capacity` fall through to
+/// the next tier. The intersection preference is what lets naturally
+/// clustered graphs (Proteins in the paper) partition with a small
+/// replication factor.
+part_t greedy_pick(const Edge& edge, const std::vector<PartSet>& member,
+                   const std::vector<eid_t>& edges_per_part, eid_t capacity, part_t num_parts) {
+  const PartSet& su = member[static_cast<std::size_t>(edge.src)];
+  const PartSet& sv = member[static_cast<std::size_t>(edge.dst)];
+  part_t best = kInvalidPart;
+  eid_t best_load = std::numeric_limits<eid_t>::max();
+  auto consider = [&](part_t p) {
+    const eid_t load = edges_per_part[static_cast<std::size_t>(p)];
+    if (load >= capacity) return;
+    if (load < best_load) {
+      best_load = load;
+      best = p;
+    }
+  };
+  auto scan = [&](auto word_of) {
+    for (int w = 0; w < PartSet::kMaxParts / 64; ++w) {
+      std::uint64_t bits = word_of(w);
+      while (bits != 0) {
+        const int bit = std::countr_zero(bits);
+        bits &= bits - 1;
+        consider(static_cast<part_t>(w * 64 + bit));
+      }
+    }
+  };
+  scan([&](int w) { return su.words[w] & sv.words[w]; });  // intersection
+  if (best == kInvalidPart)
+    scan([&](int w) { return su.words[w] | sv.words[w]; });  // union
+  if (best == kInvalidPart)
+    for (part_t p = 0; p < num_parts; ++p) consider(p);  // anywhere
+  return best;
+}
+
+eid_t soft_capacity(std::size_t num_edges, part_t num_parts) {
+  // Soft capacity keeps the greedy from piling a large cluster onto one
+  // partition: candidates at/above capacity fall through to the next tier.
+  // Feasible by construction (sum of loads < num_parts * capacity).
+  return std::max<eid_t>(1, static_cast<eid_t>((static_cast<double>(num_edges) * 1.02) /
+                                               static_cast<double>(num_parts)) +
+                                1);
+}
+
 }  // namespace
 
 EdgePartition partition_libra(const EdgeList& edges, part_t num_parts, std::uint64_t seed) {
@@ -50,56 +98,62 @@ EdgePartition partition_libra(const EdgeList& edges, part_t num_parts, std::uint
   for (std::size_t i = order.size(); i > 1; --i)
     std::swap(order[i - 1], order[rng.next_below(i)]);
 
-  // Soft capacity keeps the greedy from piling a large cluster onto one
-  // partition: candidates at/above capacity fall through to the next tier.
-  // Feasible by construction (sum of loads < num_parts * capacity).
-  const eid_t capacity = std::max<eid_t>(
-      1, static_cast<eid_t>((static_cast<double>(edges.edges.size()) * 1.02) /
-                            static_cast<double>(num_parts)) +
-             1);
+  const eid_t capacity = soft_capacity(edges.edges.size(), num_parts);
 
   for (const eid_t e : order) {
     const Edge& edge = edges.edges[static_cast<std::size_t>(e)];
-    const PartSet& su = member[static_cast<std::size_t>(edge.src)];
-    const PartSet& sv = member[static_cast<std::size_t>(edge.dst)];
-
-    // Greedy vertex-cut rule: prefer the least-loaded partition that already
-    // holds BOTH endpoints (no new clone at all), then one holding EITHER
-    // endpoint (one new clone), then the globally least-loaded. The
-    // intersection preference is what lets naturally clustered graphs
-    // (Proteins in the paper) partition with a small replication factor.
-    part_t best = kInvalidPart;
-    eid_t best_load = std::numeric_limits<eid_t>::max();
-    auto consider = [&](part_t p) {
-      const eid_t load = ep.edges_per_part[static_cast<std::size_t>(p)];
-      if (load >= capacity) return;
-      if (load < best_load) {
-        best_load = load;
-        best = p;
-      }
-    };
-    auto scan = [&](auto word_of) {
-      for (int w = 0; w < PartSet::kMaxParts / 64; ++w) {
-        std::uint64_t bits = word_of(w);
-        while (bits != 0) {
-          const int bit = std::countr_zero(bits);
-          bits &= bits - 1;
-          consider(static_cast<part_t>(w * 64 + bit));
-        }
-      }
-    };
-    scan([&](int w) { return su.words[w] & sv.words[w]; });  // intersection
-    if (best == kInvalidPart)
-      scan([&](int w) { return su.words[w] | sv.words[w]; });  // union
-    if (best == kInvalidPart)
-      for (part_t p = 0; p < num_parts; ++p) consider(p);  // anywhere
-
+    const part_t best = greedy_pick(edge, member, ep.edges_per_part, capacity, num_parts);
     ep.edge_owner[static_cast<std::size_t>(e)] = best;
     ++ep.edges_per_part[static_cast<std::size_t>(best)];
     member[static_cast<std::size_t>(edge.src)].set(best);
     member[static_cast<std::size_t>(edge.dst)].set(best);
   }
   return ep;
+}
+
+void extend_partition_libra(EdgePartition& partition, const EdgeList& post_edges,
+                            const std::vector<eid_t>& removed_edge_indices,
+                            std::size_t num_inserted) {
+  const part_t num_parts = partition.num_parts;
+  if (num_parts < 1 || num_parts > PartSet::kMaxParts)
+    throw std::invalid_argument("extend_partition_libra: num_parts out of range [1, 256]");
+  const std::size_t survivors = partition.edge_owner.size() - removed_edge_indices.size();
+  if (survivors + num_inserted != post_edges.edges.size())
+    throw std::invalid_argument("extend_partition_libra: edge counts do not reconcile");
+
+  // Compact the owner array past the removals: surviving edges keep their
+  // owner (feature shards stay put), removed ones drop out of the histogram.
+  std::vector<bool> removed(partition.edge_owner.size(), false);
+  for (const eid_t e : removed_edge_indices) removed[static_cast<std::size_t>(e)] = true;
+  std::vector<part_t> owner;
+  owner.reserve(post_edges.edges.size());
+  for (std::size_t e = 0; e < partition.edge_owner.size(); ++e)
+    if (!removed[e]) owner.push_back(partition.edge_owner[e]);
+
+  // Rebuild membership and loads from the survivors only, so a partition
+  // whose last clone of a vertex vanished no longer attracts its new edges.
+  std::vector<PartSet> member(static_cast<std::size_t>(post_edges.num_vertices));
+  std::vector<eid_t> edges_per_part(static_cast<std::size_t>(num_parts), 0);
+  for (std::size_t e = 0; e < owner.size(); ++e) {
+    const Edge& edge = post_edges.edges[e];
+    const part_t p = owner[e];
+    ++edges_per_part[static_cast<std::size_t>(p)];
+    member[static_cast<std::size_t>(edge.src)].set(p);
+    member[static_cast<std::size_t>(edge.dst)].set(p);
+  }
+
+  const eid_t capacity = soft_capacity(post_edges.edges.size(), num_parts);
+  for (std::size_t e = survivors; e < post_edges.edges.size(); ++e) {
+    const Edge& edge = post_edges.edges[e];
+    const part_t best = greedy_pick(edge, member, edges_per_part, capacity, num_parts);
+    owner.push_back(best);
+    ++edges_per_part[static_cast<std::size_t>(best)];
+    member[static_cast<std::size_t>(edge.src)].set(best);
+    member[static_cast<std::size_t>(edge.dst)].set(best);
+  }
+
+  partition.edge_owner = std::move(owner);
+  partition.edges_per_part = std::move(edges_per_part);
 }
 
 EdgePartition partition_random(const EdgeList& edges, part_t num_parts, std::uint64_t seed) {

@@ -35,6 +35,20 @@ enum class PartitionStrategy {
 /// Deterministic for a fixed seed (ties are broken by partition index).
 EdgePartition partition_libra(const EdgeList& edges, part_t num_parts, std::uint64_t seed = 0);
 
+/// Incremental libra for streaming graph updates (src/stream). `partition`
+/// is aligned with the PRE-delta edge list; `post_edges` is the post-delta
+/// list: surviving edges in original order, then `num_inserted` appended
+/// ones. Removed edges (given by their pre-delta indices) drop out of the
+/// owner array and histogram; vertex membership is rebuilt from the
+/// survivors; inserted edges are then greedy-assigned in order with the same
+/// intersection -> union -> anywhere rule and a soft capacity sized to the
+/// grown edge count. O(|E|) per call — full repartitioning quality erodes
+/// over many deltas, but owners of surviving edges never move, which is what
+/// keeps a live ShardedServer's feature shards stable across a delta.
+void extend_partition_libra(EdgePartition& partition, const EdgeList& post_edges,
+                            const std::vector<eid_t>& removed_edge_indices,
+                            std::size_t num_inserted);
+
 /// Baseline partitioners for comparison benches.
 EdgePartition partition_random(const EdgeList& edges, part_t num_parts, std::uint64_t seed = 0);
 EdgePartition partition_source_hash(const EdgeList& edges, part_t num_parts);

@@ -109,6 +109,15 @@ std::vector<std::optional<InferResult>> ServingBackend::infer_batch(
   return results;
 }
 
+void ServingBackend::apply_graph_update(const std::function<void()>& apply,
+                                        const GraphUpdateNotice& notice) {
+  // Default: quiesce, then mutate. Backends with worker loops override with
+  // a real barrier (readers parked, caches invalidated per the notice).
+  (void)notice;
+  drain();
+  if (apply) apply();
+}
+
 InferResult ServingBackend::infer_sync(vid_t vertex) {
   // Closed-loop callers want backpressure: a full bounded queue means "wait
   // your turn", not "drop". Retry with a short sleep so a burst of blocking

@@ -170,6 +170,22 @@ struct TenantFoldReport {
 /// reported consistent trivially — the invariant needs two tiers of lanes.
 TenantFoldReport check_tenant_fold(const BackendStats& stats, bool edge_authoritative);
 
+/// Sideband a DeltaPublisher hands to apply_graph_update so each tier can
+/// invalidate precisely. `epoch` is the graph epoch after the apply (folded
+/// into EmbedCache keys); `features` lists the vertices whose feature rows
+/// the apply rewrites (their layer-0 cache entries are dropped, and sharded
+/// tiers refresh their local feature shards); `dirty_layers[l-1]` is the set
+/// of vertices whose h_l changed (the delta's l-hop out-frontier) — the
+/// eviction set for embed-cache layer l. `full_flush` forces whole-cache
+/// invalidation instead (the baseline the targeted path is measured
+/// against).
+struct GraphUpdateNotice {
+  std::uint64_t epoch = 0;
+  std::vector<vid_t> features;
+  std::vector<std::vector<vid_t>> dirty_layers;
+  bool full_flush = false;
+};
+
 class ServingBackend : public obs::ScrapeSource {
  public:
   ~ServingBackend() override = default;
@@ -258,6 +274,22 @@ class ServingBackend : public obs::ScrapeSource {
 
   virtual const Dataset& dataset() const = 0;
   virtual BackendStats stats() const = 0;
+
+  /// Version-barriered graph mutation (the delta analogue of publish()).
+  /// `apply` mutates the shared Dataset — graph swap + feature-row writes —
+  /// and runs exactly once, while no reader is mid-batch; `notice` tells the
+  /// backend what changed so it can invalidate its caches precisely (and, on
+  /// sharded tiers, refresh its local feature shards). Composite backends
+  /// barrier the whole tree and pass `apply` to exactly one member (the
+  /// Dataset is shared). The default drains and applies — correct for any
+  /// stopped backend and for test fakes without caches.
+  virtual void apply_graph_update(const std::function<void()>& apply,
+                                  const GraphUpdateNotice& notice);
+
+  /// Graph epoch currently served (0 = frozen graph / no deltas yet).
+  /// Folded into embed-cache keys so racing in-flight batches can never
+  /// read a mixed-epoch embedding.
+  virtual std::uint64_t graph_epoch() const { return 0; }
 };
 
 }  // namespace distgnn::serve

@@ -76,6 +76,15 @@ class ComposedTier : public ServingBackend {
   std::vector<std::optional<InferResult>> infer_batch(std::span<const vid_t> vertices,
                                                       const RequestMeta& meta) override;
 
+  /// Graph mutation over the whole R×P grid, under the group's version
+  /// barrier: replica 0's ShardedServer runs the real apply (the dataset is
+  /// shared), every replica parks its ranks and invalidates per the notice.
+  void apply_graph_update(const std::function<void()>& apply,
+                          const GraphUpdateNotice& notice) override {
+    group_.apply_graph_update(apply, notice);
+  }
+  std::uint64_t graph_epoch() const override { return group_.graph_epoch(); }
+
   std::size_t queue_depth() const override { return group_.queue_depth(); }
   void drain() override { group_.drain(); }
   bool accepting() const override { return group_.accepting(); }

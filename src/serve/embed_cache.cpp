@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace distgnn::serve {
 
@@ -55,23 +56,47 @@ std::uint64_t EmbedCache::capacity_entries(int layer) const {
   return layer_lru(layer).capacity_entries();
 }
 
-bool EmbedCache::lookup(int layer, vid_t vertex, std::uint64_t version, real_t* out) {
+bool EmbedCache::lookup(int layer, vid_t vertex, std::uint64_t version, real_t* out,
+                        std::uint64_t epoch) {
   const std::size_t d = dim(layer);
-  const Key key{version, static_cast<std::uint64_t>(vertex)};
+  const Key key{version, epoch, static_cast<std::uint64_t>(vertex)};
   return layer_lru(layer).lookup(/*space=*/0, key, [&](const std::vector<real_t>& row) {
     std::copy(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(d), out);
   });
 }
 
-void EmbedCache::insert(int layer, vid_t vertex, std::uint64_t version, const real_t* row) {
+void EmbedCache::insert(int layer, vid_t vertex, std::uint64_t version, const real_t* row,
+                        std::uint64_t epoch) {
   const std::size_t d = dim(layer);
-  const Key key{version, static_cast<std::uint64_t>(vertex)};
+  const Key key{version, epoch, static_cast<std::uint64_t>(vertex)};
   layer_lru(layer).insert(/*space=*/0, key,
                           [&](std::vector<real_t>& slot) { slot.assign(row, row + d); });
 }
 
 void EmbedCache::invalidate() {
   for (auto& layer : layers_) layer->invalidate();
+}
+
+EmbedCache::EpochAdvance EmbedCache::advance_epoch(
+    std::uint64_t new_epoch, const std::vector<std::vector<vid_t>>& dirty_layers) {
+  EpochAdvance out;
+  std::unordered_set<std::uint64_t> dirty;
+  for (int l = 1; l <= num_layers(); ++l) {
+    dirty.clear();
+    if (static_cast<std::size_t>(l) <= dirty_layers.size())
+      for (const vid_t v : dirty_layers[static_cast<std::size_t>(l - 1)])
+        dirty.insert(static_cast<std::uint64_t>(v));
+    layer_lru(l).retag(/*space=*/0, [&](Key& key) {
+      if (dirty.count(key.vertex) > 0) {
+        ++out.evicted;
+        return false;
+      }
+      if (key.epoch != new_epoch) key.epoch = new_epoch;
+      ++out.retained;
+      return true;
+    });
+  }
+  return out;
 }
 
 CacheStats EmbedCache::stats(int layer) const { return layer_lru(layer).stats(0); }
@@ -117,7 +142,7 @@ std::uint32_t EmbedForward::resolve(int level, vid_t v, std::uint64_t version, s
       feature_cache_->get_or_fill(/*space=*/0, static_cast<std::uint64_t>(v), dst, copy_row);
     else
       copy_row(dst);
-  } else if (cache_ && cache_->lookup(level, v, version, dst)) {
+  } else if (cache_ && cache_->lookup(level, v, version, dst, graph_epoch_)) {
     // Hit: v's entire hop-`level` subtree is pruned — nothing goes pending.
   } else {
     lv.pending.push_back(v);
@@ -127,7 +152,8 @@ std::uint32_t EmbedForward::resolve(int level, vid_t v, std::uint64_t version, s
 }
 
 void EmbedForward::infer(const ModelSnapshot& snapshot, std::span<const vid_t> seeds,
-                         DenseMatrix& logits) {
+                         DenseMatrix& logits, std::uint64_t graph_epoch) {
+  graph_epoch_ = graph_epoch;
   const ModelSpec& spec = snapshot.spec();
   const int num_layers = spec.num_layers;
   if (num_layers != static_cast<int>(fanouts_.size()))
@@ -195,7 +221,7 @@ void EmbedForward::infer(const ModelSnapshot& snapshot, std::span<const vid_t> s
     for (std::size_t i = 0; i < lv.pending.size(); ++i) {
       real_t* dst = lv.values.data() + static_cast<std::size_t>(lv.pending_row[i]) * out_dim;
       std::copy(layer_out_.row(i), layer_out_.row(i) + out_dim, dst);
-      if (cache_) cache_->insert(l, lv.pending[i], version, dst);
+      if (cache_) cache_->insert(l, lv.pending[i], version, dst, graph_epoch_);
       ++stats_.layer_rows_computed;
     }
   }

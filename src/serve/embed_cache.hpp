@@ -25,6 +25,14 @@
 // in-flight batch inserts old-version rows after a hot-swap. The
 // SnapshotHolder publish hook additionally invalidate()s the cache so stale
 // entries release capacity immediately instead of aging out of the LRU.
+//
+// Graph epochs (src/stream): keys additionally carry the graph epoch, so a
+// row computed over epoch e can never satisfy a lookup after a delta bumped
+// the graph to e+1 — a racing in-flight batch that inserts old-epoch rows
+// after the swap wastes a slot but can never be read back. advance_epoch()
+// is the targeted alternative to invalidate(): entries whose vertex is in
+// the delta's dirty set are evicted, everything else is promoted in place to
+// the new epoch (hit rate survives the delta).
 #pragma once
 
 #include <cstdint>
@@ -53,9 +61,13 @@ class EmbedCache {
  public:
   struct Key {
     std::uint64_t version = 0;
+    std::uint64_t epoch = 0;  // graph epoch (delta stream); 0 = frozen graph
     std::uint64_t vertex = 0;
     bool operator==(const Key&) const = default;
   };
+  /// Deliberately excludes the epoch: advance_epoch() rewrites keys in place
+  /// (epoch e -> e+1) and the promoted key must stay in the same LRU shard.
+  /// Equality still includes the epoch, so a stale-epoch entry never matches.
   struct KeyHash {
     std::uint64_t operator()(const Key& k) const {
       return splitmix64(k.version ^ splitmix64(k.vertex));
@@ -69,13 +81,31 @@ class EmbedCache {
   EmbedCache(const ModelSpec& spec, std::uint64_t capacity_bytes, int num_shards = 8,
              std::uint64_t max_entries_per_layer = 0);
 
-  /// Copies h_layer(vertex) under `version` into `out` (dim(layer) floats)
-  /// on hit. A row cached under any other version never matches.
-  bool lookup(int layer, vid_t vertex, std::uint64_t version, real_t* out);
-  void insert(int layer, vid_t vertex, std::uint64_t version, const real_t* row);
+  /// Copies h_layer(vertex) under (version, graph epoch) into `out`
+  /// (dim(layer) floats) on hit. A row cached under any other version or
+  /// epoch never matches.
+  bool lookup(int layer, vid_t vertex, std::uint64_t version, real_t* out,
+              std::uint64_t epoch = 0);
+  void insert(int layer, vid_t vertex, std::uint64_t version, const real_t* row,
+              std::uint64_t epoch = 0);
 
   /// Drops every entry (publish-hook invalidation) without resetting stats.
   void invalidate();
+
+  /// Counters from one advance_epoch sweep (summed over layers).
+  struct EpochAdvance {
+    std::uint64_t evicted = 0;   // dirty entries dropped
+    std::uint64_t retained = 0;  // clean entries promoted to the new epoch
+  };
+
+  /// Targeted invalidation for a graph delta: for each layer l, entries
+  /// whose vertex appears in dirty_layers[l-1] are evicted; every other
+  /// resident entry is promoted in place to `new_epoch` (its hash excludes
+  /// the epoch, so promotion stays within the shard). Entries a racing batch
+  /// inserts under the old epoch afterwards waste a slot but never match.
+  /// Layers beyond dirty_layers.size() promote everything.
+  EpochAdvance advance_epoch(std::uint64_t new_epoch,
+                             const std::vector<std::vector<vid_t>>& dirty_layers);
 
   int num_layers() const { return static_cast<int>(layers_.size()); }
   /// Row width of layer l in floats (l in [1, num_layers]).
@@ -124,7 +154,10 @@ class EmbedForward {
   /// Computes logits (one row per seed, duplicates allowed) under
   /// `snapshot`. Bitwise-equal to any other evaluation of the same seeds
   /// under the same (snapshot, sample_seed, fanouts), cached or not.
-  void infer(const ModelSnapshot& snapshot, std::span<const vid_t> seeds, DenseMatrix& logits);
+  /// `graph_epoch` keys cache traffic to the serving graph's delta epoch —
+  /// rows computed before a delta can never answer a lookup after it.
+  void infer(const ModelSnapshot& snapshot, std::span<const vid_t> seeds, DenseMatrix& logits,
+             std::uint64_t graph_epoch = 0);
 
   const EmbedForwardStats& stats() const { return stats_; }
 
@@ -154,6 +187,7 @@ class EmbedForward {
   std::uint64_t sample_seed_;
   EmbedCache* cache_;
   ShardedFeatureCache* feature_cache_;
+  std::uint64_t graph_epoch_ = 0;  // set per infer(); keys cache traffic
 
   std::vector<Level> levels_;
   ForwardScratch fwd_scratch_;

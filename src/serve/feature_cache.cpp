@@ -47,4 +47,6 @@ void ShardedFeatureCache::insert(int space, std::uint64_t key, const real_t* row
 
 void ShardedFeatureCache::invalidate() { lru_.invalidate(); }
 
+bool ShardedFeatureCache::erase(int space, std::uint64_t key) { return lru_.erase(space, key); }
+
 }  // namespace distgnn::serve

@@ -49,6 +49,10 @@ class ShardedFeatureCache {
   /// Drops every entry (hot-swap invalidation) without resetting statistics.
   void invalidate();
 
+  /// Drops one entry (a streamed feature-row update dirties exactly that
+  /// key). Returns true when an entry was resident and evicted.
+  bool erase(int space, std::uint64_t key);
+
   std::size_t dim() const { return dim_; }
   int num_shards() const { return lru_.num_shards(); }
   std::uint64_t capacity_entries() const { return lru_.capacity_entries(); }

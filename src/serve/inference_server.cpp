@@ -175,6 +175,27 @@ EmbedCache* InferenceServer::embed_cache_ptr() const {
   return embed_cache_.get();
 }
 
+void InferenceServer::apply_graph_update(const std::function<void()>& apply,
+                                         const GraphUpdateNotice& notice) {
+  // Exclusive acquisition = the barrier: every in-service batch holds the
+  // gate shared, so this waits them out, then mutates while later batches
+  // park on the shared acquisition. Queued requests are not drained — the
+  // window is the apply + invalidate below, nothing more.
+  std::unique_lock<std::shared_mutex> gate(graph_gate_);
+  if (apply) apply();
+  // Feature rows rewritten by the delta: evict their layer-0 cache entries
+  // so the next gather refills from the updated store.
+  for (const vid_t v : notice.features)
+    cache_.erase(/*space=*/0, static_cast<std::uint64_t>(v));
+  if (EmbedCache* cache = embed_cache_ptr()) {
+    if (notice.full_flush)
+      cache->invalidate();
+    else
+      cache->advance_epoch(notice.epoch, notice.dirty_layers);
+  }
+  graph_epoch_.store(notice.epoch, std::memory_order_release);
+}
+
 void InferenceServer::worker_loop() {
   if (config_.embed_forward) {
     // start() requires a prior publish, so the cache pointer is stable for
@@ -187,6 +208,11 @@ void InferenceServer::worker_loop() {
       std::vector<InferRequest> batch =
           queue_.pop_batch(config_.max_batch, config_.max_batch_delay);
       if (batch.empty()) return;  // closed and drained
+      // The gate is shared per batch: a delta apply's exclusive acquisition
+      // waits out in-service batches and parks new ones for the barrier
+      // window; a batch popped just before the apply completes on the new
+      // graph at the new epoch (reads see epoch e or e+1, never a mix).
+      std::shared_lock<std::shared_mutex> gate(graph_gate_);
       process_batch_embed(std::move(batch), evaluator, seeds, logits);
     }
   }
@@ -196,6 +222,7 @@ void InferenceServer::worker_loop() {
   while (true) {
     std::vector<InferRequest> batch = queue_.pop_batch(config_.max_batch, config_.max_batch_delay);
     if (batch.empty()) return;  // closed and drained
+    std::shared_lock<std::shared_mutex> gate(graph_gate_);  // see embed loop
     process_batch(std::move(batch), scratch, minibatches, inputs, logits);
   }
 }
@@ -258,7 +285,7 @@ void InferenceServer::process_batch_embed(std::vector<InferRequest>&& batch,
   seeds.clear();
   for (const InferRequest& request : batch) seeds.push_back(request.vertex);
   const auto embed_begin = ServeClock::now();
-  evaluator.infer(*snapshot, seeds, logits);
+  evaluator.infer(*snapshot, seeds, logits, graph_epoch_.load(std::memory_order_acquire));
   const auto embed_end = ServeClock::now();
 
   // EmbedForward samples and computes per (vertex, layer) internally, so the

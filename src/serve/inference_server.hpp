@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -90,6 +91,18 @@ class InferenceServer : public ServingBackend {
   double mean_service_seconds() const override;
   int concurrency() const override { return config_.num_workers; }
 
+  /// Version-barriered graph mutation: workers hold graph_gate_ shared per
+  /// batch, so the exclusive acquisition here waits out in-service batches
+  /// and blocks new ones for exactly the apply + invalidate window. The
+  /// queue stays open — readers outside the window wait, they are never
+  /// rejected — and targeted invalidation drops only the notice's dirty
+  /// (vertex, layer) entries, promoting everything else to the new epoch.
+  void apply_graph_update(const std::function<void()>& apply,
+                          const GraphUpdateNotice& notice) override;
+  std::uint64_t graph_epoch() const override {
+    return graph_epoch_.load(std::memory_order_acquire);
+  }
+
   BackendStats stats() const override;
   /// ScrapeSource: fold this server's stage histograms and tenant counters
   /// into `out` (acquire-load fold of the per-worker metric shards).
@@ -128,6 +141,10 @@ class InferenceServer : public ServingBackend {
   std::unique_ptr<EmbedCache> embed_cache_;
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
+
+  /// Graph-update barrier: workers shared per batch, delta apply exclusive.
+  std::shared_mutex graph_gate_;
+  std::atomic<std::uint64_t> graph_epoch_{0};
 
   /// Sharded wait-free telemetry: per-tenant submitted/completed/shed
   /// counters, per-stage and end-to-end latency histograms. Replaces the old

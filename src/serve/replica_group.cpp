@@ -63,6 +63,21 @@ void ReplicaGroup::publish_broadcast(std::shared_ptr<const ModelSnapshot> snapsh
   });
 }
 
+void ReplicaGroup::apply_graph_update(const std::function<void()>& apply,
+                                      const GraphUpdateNotice& notice) {
+  // Reuse the publish barrier (one mutator at a time, admitted traffic
+  // drained), but keep version_ untouched — graph epochs are orthogonal to
+  // snapshot versions. Sequential delivery, replica 0 with the real apply.
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return !publishing_; });
+  publishing_ = true;
+  cv_.wait(lock, [&] { return outstanding_ == 0; });
+  for (std::size_t r = 0; r < replicas_.size(); ++r)
+    replicas_[r]->apply_graph_update(r == 0 ? apply : std::function<void()>{}, notice);
+  publishing_ = false;
+  cv_.notify_all();
+}
+
 std::shared_ptr<const ModelSnapshot> ReplicaGroup::snapshot() const {
   return replicas_.front()->snapshot();
 }

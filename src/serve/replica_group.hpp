@@ -89,6 +89,15 @@ class ReplicaGroup : public ServingBackend {
   std::vector<std::optional<InferResult>> infer_batch(std::span<const vid_t> vertices,
                                                       const RequestMeta& meta) override;
 
+  /// Graph mutation under the group's version barrier: drains every admitted
+  /// request, runs the real apply on replica 0 only (all replicas share the
+  /// dataset, so it must be mutated exactly once), then delivers an
+  /// apply-less notice to the siblings so each invalidates its own caches.
+  /// Replica 0 goes first — the mutation happens-before every invalidation.
+  void apply_graph_update(const std::function<void()>& apply,
+                          const GraphUpdateNotice& notice) override;
+  std::uint64_t graph_epoch() const override { return replicas_.front()->graph_epoch(); }
+
   std::size_t queue_depth() const override;
   void drain() override;
   bool accepting() const override;

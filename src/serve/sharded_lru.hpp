@@ -120,6 +120,61 @@ class ShardedLru {
     }
   }
 
+  /// Drops one entry (targeted invalidation — a feature-row update dirties
+  /// exactly that key). Returns true when an entry was resident and evicted.
+  bool erase(int space, const K& key) {
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (static_cast<std::size_t>(space) >= s.index.size()) return false;
+    auto& index = s.index[static_cast<std::size_t>(space)];
+    const auto it = index.find(key);
+    if (it == index.end()) return false;
+    evict_slot(s, it->second);
+    return true;
+  }
+
+  /// Visits every resident entry of `space`, letting `fn(K&)` rewrite the
+  /// key in place: return false to evict the entry, true to keep it under
+  /// the (possibly rewritten) key. The epoch-advance path uses this to
+  /// promote clean entries to a new graph epoch and drop dirty ones in one
+  /// sweep. Rewritten keys MUST keep their hash (same shard) — the entry is
+  /// re-indexed within its shard only. A rewrite that collides with a key
+  /// already resident in the shard drops the visited entry instead.
+  template <typename Fn>
+  void retag(int space, const Fn& fn) {
+    std::vector<int> resident;
+    for (auto& shard : shards_) {
+      Shard& s = *shard;
+      std::lock_guard<std::mutex> lock(s.mutex);
+      if (static_cast<std::size_t>(space) >= s.index.size()) continue;
+      auto& index = s.index[static_cast<std::size_t>(space)];
+      // Collect first: fn rewrites keys, which would invalidate a live
+      // iteration over the index.
+      resident.clear();
+      resident.reserve(index.size());
+      for (const auto& [key, idx] : index) resident.push_back(idx);
+      for (const int idx : resident) {
+        Slot& slot = s.slots[static_cast<std::size_t>(idx)];
+        const K old_key = slot.key;
+        if (!fn(slot.key)) {
+          // evict_slot erases the index through slot.key, so the old key
+          // must be back in place before it runs.
+          slot.key = old_key;
+          evict_slot(s, idx);
+          continue;
+        }
+        if (slot.key == old_key) continue;
+        index.erase(old_key);
+        if (!index.emplace(slot.key, idx).second) {
+          // Collision with a resident key: the old key is already erased, so
+          // retire the slot directly rather than via evict_slot.
+          unlink(s, idx);
+          s.free_list.push_back(idx);
+        }
+      }
+    }
+  }
+
   std::uint64_t capacity_entries() const { return entries_per_shard_ * shards_.size(); }
   int num_shards() const { return static_cast<int>(shards_.size()); }
 

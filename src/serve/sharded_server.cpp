@@ -18,22 +18,6 @@ constexpr auto kIdlePoll = std::chrono::microseconds(20);
 
 }  // namespace
 
-std::uint64_t ShardedServeReport::total_halo_rows() const {
-  std::uint64_t total = 0;
-  for (const ShardedRankStats& s : per_rank) total += s.halo_rows_fetched;
-  return total;
-}
-
-double ShardedServeReport::mean_halo_wait_per_batch() const {
-  double wait = 0;
-  std::uint64_t batches = 0;
-  for (const ShardedRankStats& s : per_rank) {
-    wait += s.halo_wait_seconds;
-    batches += s.batches;
-  }
-  return batches == 0 ? 0.0 : wait / static_cast<double>(batches);
-}
-
 std::vector<part_t> vertex_owners(const EdgeList& edges, const EdgePartition& partition,
                                   vid_t num_vertices) {
   const PartitionedGraph pg = build_partitions(edges, partition);
@@ -342,6 +326,58 @@ void ShardedServer::finish_requests(std::vector<InferRequest>& batch, const Dens
   completed_.fetch_add(batch.size(), std::memory_order_release);
 }
 
+void ShardedServer::apply_graph_update(const std::function<void()>& apply,
+                                       const GraphUpdateNotice& notice) {
+  // Pause rendezvous (live server only): raise the flag, wait until every
+  // rank has drained its ring and parked. Classic ranks keep answering halo
+  // requests while parked, so slower ranks can always finish draining.
+  const bool live = running_.load(std::memory_order_acquire);
+  if (live) {
+    pause_flag_.store(true, std::memory_order_release);
+    std::unique_lock<std::mutex> lock(pause_mutex_);
+    pause_cv_.wait(lock, [&] { return paused_ranks_ == num_parts_; });
+  }
+
+  if (apply) apply();
+
+  // Re-materialize updated feature rows into their owners' local shards.
+  // Ownership is structural (vertex-cut of the edge set) and we do not
+  // re-home vertices on delta, so every updated row already has a slot.
+  const std::size_t f = static_cast<std::size_t>(dataset_.feature_dim());
+  for (const vid_t v : notice.features) {
+    const part_t p = owner_[static_cast<std::size_t>(v)];
+    const auto& index = local_index_[static_cast<std::size_t>(p)];
+    const auto it = index.find(v);
+    if (it == index.end()) continue;  // vertex added after construction: served via halo/cache
+    const real_t* src = dataset_.features.row(static_cast<std::size_t>(v));
+    std::copy(src, src + f, local_feats_[static_cast<std::size_t>(p)].row(it->second));
+  }
+
+  // Invalidate per-rank caches: feature rows by id in both spaces (0 = local/
+  // embed rows, 1 = halo rows — a stale halo copy is as wrong as a stale
+  // local one), then the layer-output caches via targeted epoch advance.
+  for (part_t p = 0; p < num_parts_; ++p) {
+    ShardedFeatureCache& cache = *caches_[static_cast<std::size_t>(p)];
+    for (const vid_t v : notice.features) {
+      cache.erase(/*space=*/0, static_cast<std::uint64_t>(v));
+      cache.erase(/*space=*/1, static_cast<std::uint64_t>(v));
+    }
+    if (EmbedCache* embed = embed_cache_ptr(p)) {
+      if (notice.full_flush)
+        embed->invalidate();
+      else
+        embed->advance_epoch(notice.epoch, notice.dirty_layers);
+    }
+  }
+  graph_epoch_.store(notice.epoch, std::memory_order_release);
+
+  if (live) {
+    pause_flag_.store(false, std::memory_order_release);
+    std::unique_lock<std::mutex> lock(pause_mutex_);
+    pause_cv_.wait(lock, [&] { return paused_ranks_ == 0; });
+  }
+}
+
 void ShardedServer::rank_loop(Communicator& comm) {
   const part_t me = static_cast<part_t>(comm.rank());
   if (config_.embed_forward)
@@ -354,7 +390,6 @@ void ShardedServer::run_classic_rank(Communicator& comm, part_t me) {
   BoundedRequestQueue& queue = *queues_[static_cast<std::size_t>(me)];
   ShardedFeatureCache& cache = *caches_[static_cast<std::size_t>(me)];
   RankState& state = *rank_states_[static_cast<std::size_t>(me)];
-  const CsrMatrix& in_csr = dataset_.graph.in_csr();
   HaloFetcher fetcher(comm, owner_, local_feats_[static_cast<std::size_t>(me)],
                       local_index_[static_cast<std::size_t>(me)], cache);
   ForwardScratch scratch;
@@ -399,6 +434,10 @@ void ShardedServer::run_classic_rank(Communicator& comm, part_t me) {
     if (free_slots.empty()) return false;
     std::vector<InferRequest> batch = queue.try_pop_batch(config_.max_batch);
     if (batch.empty()) return false;
+    // Re-read the CSR per batch: a graph delta swaps dataset_.graph while
+    // every rank is parked (ring drained), so a reference captured once at
+    // loop entry would dangle after the first apply.
+    const CsrMatrix& in_csr = dataset_.graph.in_csr();
     Slot* slot = free_slots.back();
     free_slots.pop_back();
     slot->requests = std::move(batch);
@@ -421,14 +460,38 @@ void ShardedServer::run_classic_rank(Communicator& comm, part_t me) {
     return true;
   };
 
+  // Graph-update rendezvous: once the ring is drained, count into the pause
+  // and wait it out while still answering peers' halo requests — another
+  // rank may be draining batches that need our rows. With every rank parked
+  // no halo message is in flight, so the updater can mutate local_feats_.
+  const auto park_for_update = [&] {
+    std::unique_lock<std::mutex> lock(pause_mutex_);
+    ++paused_ranks_;
+    pause_cv_.notify_all();
+    while (pause_flag_.load(std::memory_order_acquire)) {
+      lock.unlock();
+      fetcher.service_peers();
+      std::this_thread::sleep_for(kIdlePoll);
+      lock.lock();
+    }
+    --paused_ranks_;
+    pause_cv_.notify_all();
+  };
+
   while (true) {
     fetcher.service_peers();
+    const bool pausing = pause_flag_.load(std::memory_order_acquire);
     // Keep the ring full: batches N+1..N+depth-1 have their halo requests
     // riding the wire (and the peers' service loops) while batch N's
-    // forward runs below.
-    while (static_cast<int>(in_flight.size()) < depth && admit_next()) {
+    // forward runs below. A pending pause stops admission so the ring
+    // drains to the rendezvous at a batch boundary.
+    while (!pausing && static_cast<int>(in_flight.size()) < depth && admit_next()) {
     }
     if (in_flight.empty()) {
+      if (pausing) {
+        park_for_update();
+        continue;
+      }
       // Exit only once the queue is closed AND drained: a stop flag alone
       // would race a producer whose try_push lands between our emptiness
       // check and stop()'s close(), stranding an admitted request forever.
@@ -478,7 +541,26 @@ void ShardedServer::run_embed_rank(Communicator& comm, part_t me) {
   std::vector<vid_t> seeds;
   DenseMatrix logits;
 
+  // Embed ranks exchange no halo traffic, so the graph-update park is a
+  // plain sleep (no peers to service while waiting).
+  const auto park_for_update = [&] {
+    std::unique_lock<std::mutex> lock(pause_mutex_);
+    ++paused_ranks_;
+    pause_cv_.notify_all();
+    while (pause_flag_.load(std::memory_order_acquire)) {
+      lock.unlock();
+      std::this_thread::sleep_for(kIdlePoll);
+      lock.lock();
+    }
+    --paused_ranks_;
+    pause_cv_.notify_all();
+  };
+
   while (true) {
+    if (pause_flag_.load(std::memory_order_acquire)) {
+      park_for_update();
+      continue;
+    }
     std::vector<InferRequest> batch = queue.try_pop_batch(config_.max_batch);
     if (batch.empty()) {
       if (queue.closed() && queue.size() == 0) break;  // see run_classic_rank
@@ -489,7 +571,7 @@ void ShardedServer::run_embed_rank(Communicator& comm, part_t me) {
     const std::shared_ptr<const ModelSnapshot> snapshot = holder_.get();
     seeds.clear();
     for (const InferRequest& request : batch) seeds.push_back(request.vertex);
-    evaluator.infer(*snapshot, seeds, logits);
+    evaluator.infer(*snapshot, seeds, logits, graph_epoch_.load(std::memory_order_acquire));
     obs::BatchStageTimes stages;
     stages.embed_lookup = obs::make_span(service_begin, ServeClock::now());
     finish_requests(batch, logits, snapshot->version(), service_begin, state, stages);
@@ -498,42 +580,6 @@ void ShardedServer::run_embed_rank(Communicator& comm, part_t me) {
   done_ranks_.fetch_add(1, std::memory_order_acq_rel);
   while (done_ranks_.load(std::memory_order_acquire) < num_parts_)
     std::this_thread::sleep_for(kIdlePoll);
-}
-
-ShardedServeReport serve_sharded(World& world, const Dataset& dataset,
-                                 const EdgePartition& partition,
-                                 std::shared_ptr<const ModelSnapshot> snapshot,
-                                 std::span<const vid_t> requests,
-                                 const ShardedServeConfig& config) {
-  if (world.num_ranks() != partition.num_parts)
-    throw std::invalid_argument("serve_sharded: world ranks != partition parts");
-
-  ShardedServer server(dataset, partition, config);
-  server.publish(std::move(snapshot));
-  server.start();
-
-  ShardedServeReport report;
-  report.owner = server.owners();
-  report.results.resize(requests.size());
-
-  std::atomic<std::size_t> pending{requests.size()};
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    InferResult& out = report.results[i];
-    const auto done = [&out, &pending, i](InferResult&& result) {
-      out = std::move(result);
-      out.request_id = i;  // legacy contract: id == position in the span
-      pending.fetch_sub(1, std::memory_order_release);
-    };
-    // The one-shot driver never rejects: a full owner queue is backpressure.
-    while (!server.submit(requests[i], done))
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
-  }
-  while (pending.load(std::memory_order_acquire) > 0)
-    std::this_thread::sleep_for(std::chrono::microseconds(50));
-
-  report.per_rank = server.stats().children;
-  server.stop();
-  return report;
 }
 
 }  // namespace distgnn::serve

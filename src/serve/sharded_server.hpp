@@ -36,6 +36,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -75,10 +76,6 @@ struct ShardedServeConfig : TierConfig {
 
   ShardedServeConfig() { cache_shards = 4; }
 };
-
-/// Per-rank stats are the sharded leaf case of the unified BackendStats
-/// shape (serve/backend.hpp); the alias records the subsumption.
-using ShardedRankStats = BackendStats;
 
 class ShardedServer : public ServingBackend {
  public:
@@ -125,6 +122,20 @@ class ShardedServer : public ServingBackend {
   void collect_traces(std::vector<obs::Trace>& out) const override;
   const obs::TraceSink& trace_sink() const { return trace_sink_; }
 
+  /// Version-barriered graph mutation across the P ranks: a pause rendezvous
+  /// parks every rank at a batch boundary (prefetch ring drained, classic
+  /// ranks still answering peers' halo requests while they wait), then the
+  /// apply mutates the shared dataset, the updated feature rows are
+  /// re-materialized into the owning ranks' local shards, and each rank's
+  /// caches are invalidated per the notice (targeted epoch advance unless
+  /// full_flush). Queues stay open throughout — requests admitted during the
+  /// window are served after it, on the new graph.
+  void apply_graph_update(const std::function<void()>& apply,
+                          const GraphUpdateNotice& notice) override;
+  std::uint64_t graph_epoch() const override {
+    return graph_epoch_.load(std::memory_order_acquire);
+  }
+
   int num_ranks() const { return num_parts_; }
   /// Vertex -> owning rank (the routing table).
   const std::vector<part_t>& owners() const { return owner_; }
@@ -169,6 +180,15 @@ class ShardedServer : public ServingBackend {
 
   std::atomic<bool> running_{false};
   std::atomic<int> done_ranks_{0};
+
+  /// Graph-update pause rendezvous (apply_graph_update): ranks park once
+  /// their ring is drained; the updater waits for all P, mutates, reopens.
+  std::atomic<bool> pause_flag_{false};
+  std::mutex pause_mutex_;
+  std::condition_variable pause_cv_;
+  int paused_ranks_ = 0;
+  std::atomic<std::uint64_t> graph_epoch_{0};
+
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::uint64_t> admitted_{0};
   std::atomic<std::uint64_t> rejected_{0};
@@ -176,43 +196,10 @@ class ShardedServer : public ServingBackend {
   std::atomic<std::uint64_t> service_ns_{0};
 };
 
-// --------------------------------------------------------------------------
-// Legacy one-shot driver (kept as a thin wrapper over ShardedServer; see the
-// README migration note). New code should construct ShardedServer directly —
-// it is a long-lived ServingBackend that composes with ReplicaGroup/Router.
-
-struct ShardedServeReport {
-  std::vector<InferResult> results;       // aligned with the request span
-  std::vector<part_t> owner;              // vertex -> owning rank
-  std::vector<ShardedRankStats> per_rank; // = ShardedServer stats().children
-
-  std::uint64_t total_halo_rows() const;
-  /// Mean halo wait per batch over the ranks that ran batches — the bench's
-  /// fetch/compute-overlap headline (deeper prefetch strictly below depth 1).
-  double mean_halo_wait_per_batch() const;
-};
-
 /// Vertex -> owning rank from a vertex-cut partition: the rank whose clone
 /// carries owns_label. Vertices absent from every partition (isolated) fall
 /// back to round-robin so every vertex has a feature home.
 std::vector<part_t> vertex_owners(const EdgeList& edges, const EdgePartition& partition,
                                   vid_t num_vertices);
-
-/// Serves `requests` through a temporary ShardedServer (world.num_ranks()
-/// must equal partition.num_parts; the world argument is retained for API
-/// compatibility — the server owns its own ranks). Results come back aligned
-/// with the input order.
-///
-/// Deprecated: construct a ShardedServer directly (publish -> start ->
-/// submit/stats -> stop) — it is a long-lived ServingBackend that composes
-/// with ReplicaGroup, Router and ModelRegistry, while this wrapper rebuilds
-/// the whole tier per call. Kept for one release; every in-tree caller has
-/// been ported.
-[[deprecated("construct ShardedServer directly")]]
-ShardedServeReport serve_sharded(World& world, const Dataset& dataset,
-                                 const EdgePartition& partition,
-                                 std::shared_ptr<const ModelSnapshot> snapshot,
-                                 std::span<const vid_t> requests,
-                                 const ShardedServeConfig& config);
 
 }  // namespace distgnn::serve

@@ -1,0 +1,201 @@
+#include "stream/graph_delta.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace distgnn::stream {
+
+DeltaApplyStats apply_delta_edges(EdgeList& edges, std::vector<int>& edge_types,
+                                  const GraphDelta& delta) {
+  DeltaApplyStats stats;
+  const bool typed = !edge_types.empty();
+  if (typed && edge_types.size() != edges.edges.size())
+    throw std::invalid_argument("apply_delta_edges: edge_types misaligned with edge list");
+
+  // Deletes first, each claiming the first remaining matching occurrence.
+  // O(D * E) per delta — deltas are small batches; the linear scan buys the
+  // order-preserving semantics the bitwise-equality contract rests on.
+  std::vector<bool> removed(edges.edges.size(), false);
+  for (const Edge& victim : delta.edge_deletes) {
+    for (std::size_t e = 0; e < edges.edges.size(); ++e) {
+      if (removed[e] || !(edges.edges[e] == victim)) continue;
+      removed[e] = true;
+      stats.removed_edge_indices.push_back(static_cast<eid_t>(e));
+      break;
+    }
+  }
+  stats.edges_deleted = stats.removed_edge_indices.size();
+  if (stats.edges_deleted > 0) {
+    std::size_t out = 0;
+    for (std::size_t e = 0; e < edges.edges.size(); ++e) {
+      if (removed[e]) continue;
+      edges.edges[out] = edges.edges[e];
+      if (typed) edge_types[out] = edge_types[e];
+      ++out;
+    }
+    edges.edges.resize(out);
+    if (typed) edge_types.resize(out);
+  }
+
+  for (const EdgeInsert& ins : delta.edge_inserts) {
+    if (ins.src < 0 || ins.src >= edges.num_vertices || ins.dst < 0 ||
+        ins.dst >= edges.num_vertices)
+      throw std::invalid_argument("apply_delta_edges: inserted edge endpoint out of range");
+    edges.edges.push_back({ins.src, ins.dst});
+    if (typed) edge_types.push_back(ins.rel);
+  }
+  stats.edges_inserted = delta.edge_inserts.size();
+  return stats;
+}
+
+DeltaApplyStats apply_delta(Dataset& dataset, const GraphDelta& delta) {
+  EdgeList coo = dataset.graph.coo();
+  DeltaApplyStats stats = apply_delta_edges(coo, dataset.edge_types, delta);
+  dataset.graph = Graph(std::move(coo));
+
+  const std::size_t f = static_cast<std::size_t>(dataset.feature_dim());
+  for (const FeatureUpdate& fu : delta.feature_updates) {
+    if (fu.vertex < 0 || fu.vertex >= dataset.num_vertices())
+      throw std::invalid_argument("apply_delta: feature update vertex out of range");
+    if (fu.row.size() != f)
+      throw std::invalid_argument("apply_delta: feature row width != feature_dim");
+    std::copy(fu.row.begin(), fu.row.end(),
+              dataset.features.row(static_cast<std::size_t>(fu.vertex)));
+    ++stats.features_updated;
+  }
+  return stats;
+}
+
+std::vector<std::vector<vid_t>> compute_dirty_sets(const Graph& post_graph,
+                                                   const GraphDelta& delta, int num_layers) {
+  std::vector<std::vector<vid_t>> result(static_cast<std::size_t>(std::max(0, num_layers)));
+  if (num_layers <= 0) return result;
+  const vid_t n = post_graph.num_vertices();
+  const CsrMatrix& out_csr = post_graph.out_csr();
+
+  // T: vertices whose in-neighbourhood the delta restructured — dirty at
+  // every layer. Deleted edges' destinations count too: the aggregation
+  // over the post graph no longer includes the removed neighbour.
+  std::vector<vid_t> touched;
+  {
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    const auto touch = [&](vid_t v) {
+      if (v < 0 || v >= n || seen[static_cast<std::size_t>(v)]) return;
+      seen[static_cast<std::size_t>(v)] = 1;
+      touched.push_back(v);
+    };
+    for (const EdgeInsert& e : delta.edge_inserts) touch(e.dst);
+    for (const Edge& e : delta.edge_deletes) touch(e.dst);
+  }
+
+  // Dirty_0 = feature-updated vertices; Dirty_l = T ∪ Dirty_{l-1} ∪
+  // out(Dirty_{l-1}): h_l(v) reads h_{l-1} of v and of v's in-neighbours,
+  // so layer-(l-1) dirtiness propagates one out-hop per layer.
+  std::vector<vid_t> prev;
+  {
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    for (const FeatureUpdate& fu : delta.feature_updates) {
+      if (fu.vertex < 0 || fu.vertex >= n || seen[static_cast<std::size_t>(fu.vertex)]) continue;
+      seen[static_cast<std::size_t>(fu.vertex)] = 1;
+      prev.push_back(fu.vertex);
+    }
+  }
+  std::vector<char> mark(static_cast<std::size_t>(n), 0);
+  for (int l = 1; l <= num_layers; ++l) {
+    std::vector<vid_t> layer;
+    const auto add = [&](vid_t v) {
+      if (mark[static_cast<std::size_t>(v)]) return;
+      mark[static_cast<std::size_t>(v)] = 1;
+      layer.push_back(v);
+    };
+    for (const vid_t v : touched) add(v);
+    for (const vid_t v : prev) {
+      add(v);
+      for (const vid_t w : out_csr.neighbors(v)) add(w);
+    }
+    for (const vid_t v : layer) mark[static_cast<std::size_t>(v)] = 0;  // reset for next layer
+    std::sort(layer.begin(), layer.end());
+    result[static_cast<std::size_t>(l - 1)] = layer;
+    prev = std::move(layer);
+  }
+  return result;
+}
+
+void DeltaLog::insert_edge(vid_t src, vid_t dst, int rel) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  staging_.edge_inserts.push_back({src, dst, rel});
+}
+
+void DeltaLog::remove_edge(vid_t src, vid_t dst) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  staging_.edge_deletes.push_back({src, dst});
+}
+
+void DeltaLog::update_feature(vid_t vertex, std::vector<real_t> row) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  staging_.feature_updates.push_back({vertex, std::move(row)});
+}
+
+std::size_t DeltaLog::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return staging_.size();
+}
+
+std::uint64_t DeltaLog::sealed_epochs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sealed_;
+}
+
+GraphDelta DeltaLog::seal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GraphDelta delta = std::move(staging_);
+  staging_ = GraphDelta{};
+  delta.epoch = ++sealed_;
+  return delta;
+}
+
+std::vector<GraphDelta> make_delta_stream(const Dataset& base, const DeltaStreamConfig& config) {
+  const vid_t n = base.num_vertices();
+  if (n < 2) throw std::invalid_argument("make_delta_stream: need >= 2 vertices");
+  const std::size_t f = static_cast<std::size_t>(base.feature_dim());
+  Rng rng(config.seed ^ 0x5742ea11);
+
+  // The generator applies each delta to its own working copy, so deletes in
+  // delta k always name edges that exist after deltas 1..k-1 — the stream
+  // replays cleanly against both a live server and a cold rebuild.
+  EdgeList work = base.graph.coo();
+  std::vector<int> work_types = base.edge_types;
+
+  std::vector<GraphDelta> stream;
+  stream.reserve(static_cast<std::size_t>(config.num_deltas));
+  for (int d = 0; d < config.num_deltas; ++d) {
+    GraphDelta delta;
+    delta.epoch = static_cast<std::uint64_t>(d) + 1;
+    for (int i = 0; i < config.deletes_per_delta && !work.edges.empty(); ++i) {
+      const std::size_t pick = static_cast<std::size_t>(rng.next_below(work.edges.size()));
+      delta.edge_deletes.push_back(work.edges[pick]);
+    }
+    for (int i = 0; i < config.inserts_per_delta; ++i) {
+      EdgeInsert ins;
+      ins.src = static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+      ins.dst = static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+      if (base.num_edge_types > 0)
+        ins.rel = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(base.num_edge_types)));
+      delta.edge_inserts.push_back(ins);
+    }
+    for (int i = 0; i < config.feature_updates_per_delta; ++i) {
+      FeatureUpdate fu;
+      fu.vertex = static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+      fu.row.resize(f);
+      for (real_t& x : fu.row) x = rng.uniform(-1.0f, 1.0f);
+      delta.feature_updates.push_back(std::move(fu));
+    }
+    apply_delta_edges(work, work_types, delta);
+    stream.push_back(std::move(delta));
+  }
+  return stream;
+}
+
+}  // namespace distgnn::stream

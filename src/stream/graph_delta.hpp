@@ -1,0 +1,132 @@
+// Versioned streaming graph updates (src/stream): the delta layer.
+//
+// A GraphDelta is the unit of graph mutation the serving tower consumes:
+// a batch of edge inserts/deletes plus feature-row overwrites, stamped with
+// a monotone epoch. DeltaLog accumulates individual writes and seals them
+// into numbered deltas; apply_delta_edges defines the ONE canonical apply
+// semantics (deletes remove the first remaining matching occurrence in
+// delta order, inserts append in delta order), shared by the live
+// DeltaPublisher and by cold rebuilds — which is exactly why a server that
+// streamed K deltas answers bitwise-identically to a fresh server built
+// over the final graph: both sides hold the same edge list in the same
+// order, so CSR rows (and therefore sampling RNG consumption) match.
+//
+// compute_dirty_sets turns a delta into the per-layer invalidation sets the
+// epoch-keyed EmbedCache needs: a layer-l embedding h_l(v) depends on
+// h_{l-1} of v and of v's in-neighbours, so dirtiness seeds at the delta's
+// touched vertices and propagates one out-hop per layer over the POST-apply
+// adjacency. Everything outside those sets survives the delta untouched —
+// the targeted alternative to flushing |V| x L cached rows per update.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "graph/coo.hpp"
+#include "graph/datasets.hpp"
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace distgnn::stream {
+
+struct EdgeInsert {
+  vid_t src = kInvalidVertex;
+  vid_t dst = kInvalidVertex;
+  int rel = 0;  // relation label (ignored by homogeneous datasets)
+};
+
+struct FeatureUpdate {
+  vid_t vertex = kInvalidVertex;
+  std::vector<real_t> row;  // full replacement row, feature_dim wide
+};
+
+/// One sealed, epoch-stamped batch of graph mutations. The vertex set is
+/// fixed (serving-side routing tables and feature shards are sized at
+/// construction); edges and feature rows are the mutable surface.
+struct GraphDelta {
+  std::uint64_t epoch = 0;
+  std::vector<EdgeInsert> edge_inserts;
+  std::vector<Edge> edge_deletes;
+  std::vector<FeatureUpdate> feature_updates;
+
+  bool empty() const {
+    return edge_inserts.empty() && edge_deletes.empty() && feature_updates.empty();
+  }
+  std::size_t size() const {
+    return edge_inserts.size() + edge_deletes.size() + feature_updates.size();
+  }
+};
+
+/// What an apply did, in terms the rest of the pipeline needs: counts for
+/// telemetry and the PRE-delta indices of removed edges, which is how the
+/// incremental partitioner (extend_partition_libra) realigns edge owners.
+struct DeltaApplyStats {
+  std::uint64_t edges_inserted = 0;
+  std::uint64_t edges_deleted = 0;
+  std::uint64_t features_updated = 0;
+  std::vector<eid_t> removed_edge_indices;  // pre-delta positions, delta order
+};
+
+/// The canonical edge-apply: each delete removes the FIRST remaining edge
+/// equal to it (processed in delta order; a delete with no match is a
+/// no-op), survivors keep their relative order, inserts append in delta
+/// order. `edge_types` is kept aligned when non-empty (typed datasets);
+/// inserted edges take their EdgeInsert::rel label. Throws when an inserted
+/// edge references a vertex outside [0, num_vertices).
+DeltaApplyStats apply_delta_edges(EdgeList& edges, std::vector<int>& edge_types,
+                                  const GraphDelta& delta);
+
+/// Whole-dataset apply for cold rebuilds (tests, the bitwise-equality
+/// probes): edges via apply_delta_edges, then feature rows overwritten.
+/// The live path (DeltaPublisher) prepares off-barrier instead, but both
+/// funnel through the same edge semantics above.
+DeltaApplyStats apply_delta(Dataset& dataset, const GraphDelta& delta);
+
+/// Per-layer dirty sets over the POST-apply graph: result[l-1] holds every
+/// vertex whose layer-l cached embedding the delta could have changed,
+/// sorted ascending. Seeds: feature-updated vertices at layer 0, plus the
+/// destination of every edge insert/delete (its in-neighbourhood changed)
+/// at every layer; propagation is one out-hop per layer.
+std::vector<std::vector<vid_t>> compute_dirty_sets(const Graph& post_graph,
+                                                   const GraphDelta& delta, int num_layers);
+
+/// Thread-safe staging buffer: writers log individual mutations, seal()
+/// snapshots them into a delta stamped with the next epoch and resets the
+/// staging area. The publisher side consumes sealed deltas only.
+class DeltaLog {
+ public:
+  void insert_edge(vid_t src, vid_t dst, int rel = 0);
+  void remove_edge(vid_t src, vid_t dst);
+  void update_feature(vid_t vertex, std::vector<real_t> row);
+
+  /// Mutations staged since the last seal.
+  std::size_t pending() const;
+  /// Epochs sealed so far (the epoch the next seal() will NOT reuse).
+  std::uint64_t sealed_epochs() const;
+
+  /// Snapshots the staging buffer into a delta with epoch = sealed+1, then
+  /// clears it. Sealing an empty log yields an empty delta (still stamped).
+  GraphDelta seal();
+
+ private:
+  mutable std::mutex mutex_;
+  GraphDelta staging_;
+  std::uint64_t sealed_ = 0;
+};
+
+/// Synthetic write workload for tests and bench_stream: `num_deltas` deltas
+/// evolved against a working copy of `base`'s edge list (deletes always
+/// target edges that exist at that point in the stream), deterministic for
+/// a fixed seed.
+struct DeltaStreamConfig {
+  int num_deltas = 8;
+  int inserts_per_delta = 8;
+  int deletes_per_delta = 4;
+  int feature_updates_per_delta = 4;
+  std::uint64_t seed = 1234;
+};
+
+std::vector<GraphDelta> make_delta_stream(const Dataset& base, const DeltaStreamConfig& config);
+
+}  // namespace distgnn::stream

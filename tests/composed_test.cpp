@@ -123,7 +123,7 @@ TEST(ShardedServer, PrefetchRingDepthsAreBitwiseIdentical) {
   cfg.max_batch = 4;
   cfg.fanouts = {5, 5};
 
-  // Direct long-lived servers (the serve_sharded wrapper is deprecated): one
+  // Direct long-lived servers (the serve_sharded wrapper is gone): one
   // per depth, same snapshot, results aligned by request index.
   const auto run_at_depth = [&](int depth) {
     ShardedServeConfig at = cfg;

@@ -674,5 +674,58 @@ TEST(TrafficGen, ClosedAndOpenLoopDriveTheServer) {
   EXPECT_NE(table.find("p99"), std::string::npos);
 }
 
+// -------------------------------------------------------------- publish hook
+
+TEST(SnapshotHolder, PublishHookMayReenterTheHolderWithoutDeadlock) {
+  // The hook runs OUTSIDE the holder lock (model_snapshot.cpp pins that by
+  // construction); this test pins the consequence: a hook that triggers
+  // invalidation and reads the holder back — get(), num_publishes(), even
+  // re-registering itself, the pattern a cache wired to graph epochs uses —
+  // must neither deadlock nor observe a pre-publish snapshot.
+  const Dataset dataset = make_serving_dataset();
+  const ModelSpec spec = sage_spec(dataset);
+  SnapshotHolder holder;
+
+  std::atomic<int> hook_runs{0};
+  std::atomic<std::uint64_t> seen_version{0};
+  std::atomic<bool> concurrent{false};
+  std::function<void(std::uint64_t)> hook = [&](std::uint64_t version) {
+    hook_runs.fetch_add(1);
+    // Re-enter the holder from inside the hook: the new snapshot must
+    // already be visible (publish-before-hook ordering). Version equality
+    // only holds while publishes are sequential — under the concurrent
+    // section below a racing publish may already have superseded ours.
+    const auto current = holder.get();
+    ASSERT_NE(current, nullptr);
+    if (!concurrent.load()) EXPECT_EQ(current->version(), version);
+    seen_version.store(version);
+    EXPECT_GT(holder.num_publishes(), 0u);
+    holder.set_on_publish(hook);  // re-registration from the hook itself
+  };
+  holder.set_on_publish(hook);
+
+  holder.publish(ModelSnapshot::random(spec, /*seed=*/3, /*version=*/10));
+  EXPECT_EQ(hook_runs.load(), 1);
+  EXPECT_EQ(seen_version.load(), 10u);
+  holder.publish(ModelSnapshot::random(spec, /*seed=*/4, /*version=*/11));
+  EXPECT_EQ(hook_runs.load(), 2);  // the re-registered hook fired, once
+  EXPECT_EQ(seen_version.load(), 11u);
+
+  // Concurrent publishers with a re-entrant hook: no deadlock, every publish
+  // counted, the final snapshot is one of the published versions.
+  concurrent.store(true);
+  std::vector<std::thread> publishers;
+  for (int t = 0; t < 4; ++t)
+    publishers.emplace_back([&, t] {
+      for (int i = 0; i < 8; ++i)
+        holder.publish(ModelSnapshot::random(spec, /*seed=*/10 + t,
+                                             /*version=*/100 + static_cast<std::uint64_t>(t)));
+    });
+  for (std::thread& t : publishers) t.join();
+  EXPECT_EQ(holder.num_publishes(), 2u + 32u);
+  EXPECT_EQ(hook_runs.load(), 2 + 32);
+  EXPECT_GE(holder.get()->version(), 100u);
+}
+
 }  // namespace
 }  // namespace distgnn
