@@ -49,6 +49,7 @@
 
 #include "core/single_socket_trainer.hpp"
 #include "obs/expose.hpp"
+#include "obs/health.hpp"
 #include "graph/datasets.hpp"
 #include "graph/hetero.hpp"
 #include "nn/serialize.hpp"
@@ -353,9 +354,22 @@ int run_demo(const Options& opts) {
   stream_c.num_requests = std::max<std::size_t>(16, requests / 8);
   stream_c.seed = serve_cfg.sample_seed + 2;
 
+  // Health layer over the registry: background scrape into ring-buffer time
+  // series, SRE dual-window burn-rate per tenant SLO, stall watchdog over
+  // the counter triples. Transitions print as they happen; the summary line
+  // lands after the run.
+  obs::HealthMonitor health;
+  registry.configure_health(health);
+  health.on_event([](const obs::HealthEvent& event) {
+    std::printf("health event: %s\n", event.detail.c_str());
+  });
+  health.start();
+
   const TenantStream streams[] = {stream_a, stream_b, stream_c};
   const std::vector<LoadReport> tenant_reports = run_registry_open_loop(registry, streams);
   const BackendStats reg_stats = registry.stats();
+  health.stop();
+  std::printf("%s\n", health.summary_line().c_str());
   registry.stop();
 
   std::printf("%s\n", render_load_reports(tenant_reports,

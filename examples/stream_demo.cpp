@@ -17,6 +17,7 @@
 
 #include "graph/datasets.hpp"
 #include "obs/expose.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "serve/inference_server.hpp"
 #include "serve/model_snapshot.hpp"
@@ -127,7 +128,17 @@ int main(int argc, char** argv) {
   mixed.writes.mmpp_rate0 = write_rate * 0.25;
   mixed.writes.mmpp_rate1 = write_rate * 4.0;
   mixed.writes.seed = static_cast<std::uint64_t>(seed) + 3;
+  // Health layer over the write path: the publisher as a scrape source plus
+  // the graph-epoch freshness probe (served epoch vs the log's sealed head).
+  obs::HealthMonitor health;
+  publisher.configure_health(health, log);
+  health.on_event([](const obs::HealthEvent& event) {
+    std::printf("health event: %s\n", event.detail.c_str());
+  });
+  health.start();
   const MixedLoopReport report = run_mixed_open_loop(server, publisher, replay, mixed);
+  health.stop();
+  std::printf("  %s\n", health.summary_line().c_str());
   const StreamStats stats = publisher.stats();
   std::printf(
       "  reads: %llu done, %.0f qps, p50 %.2fms p99 %.2fms | applies: p50 %.2fms p99 %.2fms\n",

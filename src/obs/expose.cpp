@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
+
+#include "obs/health.hpp"
 
 namespace distgnn::obs {
 
@@ -178,12 +181,18 @@ std::string render_chrome_trace(std::span<const Trace> traces) {
     out << "\n  " << event;
   };
   for (const Trace& trace : traces) {
+    const bool stream_track = trace.tenant == kStreamTrack;
     if (std::find(tenants_seen.begin(), tenants_seen.end(), trace.tenant) ==
         tenants_seen.end()) {
       tenants_seen.push_back(trace.tenant);
       std::ostringstream meta;
       meta << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << trace.tenant
-           << ",\"args\":{\"name\":\"tenant " << trace.tenant << "\"}}";
+           << ",\"args\":{\"name\":\"";
+      if (stream_track)
+        meta << "stream";
+      else
+        meta << "tenant " << trace.tenant;
+      meta << "\"}}";
       emit(meta.str());
     }
     for (int s = 0; s < kNumStages; ++s) {
@@ -193,10 +202,14 @@ std::string render_chrome_trace(std::span<const Trace> traces) {
       char ts[64], dur[64];
       std::snprintf(ts, sizeof(ts), "%.3f", (span.begin_seconds - t0) * 1e6);
       std::snprintf(dur, sizeof(dur), "%.3f", span.duration_seconds() * 1e6);
-      event << "{\"name\":\"" << stage_name(static_cast<Stage>(s))
-            << "\",\"cat\":\"serve\",\"ph\":\"X\",\"ts\":" << ts << ",\"dur\":" << dur
-            << ",\"pid\":" << trace.tenant << ",\"tid\":" << trace.request_id
-            << ",\"args\":{\"vertex\":" << trace.vertex << "}}";
+      event << "{\"name\":\"" << stage_name(static_cast<Stage>(s)) << "\",\"cat\":\""
+            << (stream_track ? "stream" : "serve") << "\",\"ph\":\"X\",\"ts\":" << ts
+            << ",\"dur\":" << dur << ",\"pid\":" << trace.tenant
+            << ",\"tid\":" << trace.request_id << ",\"args\":{\""
+            << (stream_track ? "epoch" : "vertex")
+            << "\":" << (stream_track ? static_cast<std::int64_t>(trace.request_id)
+                                      : trace.vertex)
+            << "}}";
       emit(event.str());
     }
   }
@@ -206,7 +219,9 @@ std::string render_chrome_trace(std::span<const Trace> traces) {
 
 namespace {
 
-/// Splits `body` ( k="v",k2="v2" ) into labels, unescaping values.
+/// Splits `body` ( k="v",k2="v2" ) into labels, unescaping values. Only the
+/// escapes the exposition format defines (\\, \", \n) are accepted — an
+/// unknown or dangling escape is a malformed line, not content.
 Labels parse_labels(const std::string& body) {
   Labels labels;
   std::size_t i = 0;
@@ -215,12 +230,22 @@ Labels parse_labels(const std::string& body) {
     if (eq == std::string::npos || eq + 1 >= body.size() || body[eq + 1] != '"')
       throw std::runtime_error("parse_prometheus: malformed labels: " + body);
     const std::string key = body.substr(i, eq - i);
+    if (key.empty()) throw std::runtime_error("parse_prometheus: empty label name: " + body);
     std::string value;
     std::size_t j = eq + 2;
     while (j < body.size() && body[j] != '"') {
-      if (body[j] == '\\' && j + 1 < body.size()) {
+      if (body[j] == '\\') {
+        if (j + 1 >= body.size())
+          throw std::runtime_error("parse_prometheus: dangling label escape: " + body);
         ++j;
-        value.push_back(body[j] == 'n' ? '\n' : body[j]);
+        const char c = body[j];
+        if (c == 'n')
+          value.push_back('\n');
+        else if (c == '\\' || c == '"')
+          value.push_back(c);
+        else
+          throw std::runtime_error(std::string("parse_prometheus: bad label escape \\") + c +
+                                   ": " + body);
       } else {
         value.push_back(body[j]);
       }
@@ -232,6 +257,43 @@ Labels parse_labels(const std::string& body) {
     if (i < body.size() && body[i] == ',') ++i;
   }
   return labels;
+}
+
+/// Parses the sample value after `value_at`, rejecting non-numeric content
+/// and trailing junk ("12abc") instead of truncating like std::stod would.
+double parse_value(const std::string& line, std::size_t value_at) {
+  std::size_t i = value_at;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size()) throw std::runtime_error("parse_prometheus: missing value: " + line);
+  const std::string token = line.substr(i);
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  std::size_t parsed = static_cast<std::size_t>(end - token.c_str());
+  if (parsed == 0)
+    throw std::runtime_error("parse_prometheus: non-numeric value '" + token + "': " + line);
+  while (parsed < token.size() && (token[parsed] == ' ' || token[parsed] == '\t')) ++parsed;
+  if (parsed != token.size())
+    throw std::runtime_error("parse_prometheus: trailing junk after value '" + token +
+                             "': " + line);
+  return value;
+}
+
+/// `# TYPE <name> <type>` and `# HELP <name> ...` must be well-formed; any
+/// other comment is skipped. A truncated TYPE/HELP line is a broken scrape
+/// (the renderer always emits complete ones), so it throws.
+void validate_comment(const std::string& line) {
+  std::istringstream tokens(line);
+  std::string hash, kind, name;
+  tokens >> hash >> kind;
+  if (kind != "TYPE" && kind != "HELP") return;  // plain comment
+  if (!(tokens >> name) || name.empty())
+    throw std::runtime_error("parse_prometheus: truncated # " + kind + " line: " + line);
+  if (kind == "TYPE") {
+    std::string type;
+    if (!(tokens >> type) || (type != "counter" && type != "gauge" && type != "histogram" &&
+                              type != "summary" && type != "untyped"))
+      throw std::runtime_error("parse_prometheus: bad # TYPE line: " + line);
+  }
 }
 
 }  // namespace
@@ -265,7 +327,11 @@ MetricsSnapshot parse_prometheus(const std::string& text) {
                                                   suffix) == 0;
   };
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      validate_comment(line);
+      continue;
+    }
     std::string name;
     Labels labels;
     std::size_t value_at;
@@ -284,7 +350,7 @@ MetricsSnapshot parse_prometheus(const std::string& text) {
       name = line.substr(0, space);
       value_at = space;
     }
-    const double value = std::stod(line.substr(value_at));
+    const double value = parse_value(line, value_at);
 
     if (ends_with(name, "_bucket")) {
       const std::string base = name.substr(0, name.size() - 7);
@@ -331,6 +397,42 @@ MetricsSnapshot parse_prometheus(const std::string& text) {
     snapshot.add_histogram(h.name, h.labels, data);
   }
   return snapshot;
+}
+
+namespace {
+
+void append_health_event(std::ostringstream& out, const HealthEvent& event) {
+  out << "{\"rule\":\"" << health_rule_name(event.rule) << "\",\"severity\":\""
+      << severity_name(event.severity) << "\",\"firing\":" << (event.firing ? "true" : "false")
+      << ",\"subject\":\"" << json_escape(event.subject) << "\",\"tenant\":" << event.tenant
+      << ",\"t\":" << fmt_number(event.t) << ",\"value\":" << fmt_number(event.value)
+      << ",\"threshold\":" << fmt_number(event.threshold) << ",\"detail\":\""
+      << json_escape(event.detail) << "\"}";
+}
+
+}  // namespace
+
+std::string render_health_json(const HealthMonitor& monitor) {
+  std::ostringstream out;
+  out << "{\"ticks\":" << monitor.ticks() << ",\"series\":" << monitor.num_series()
+      << ",\"series_allocations\":" << monitor.series_allocations() << ",\"active\":[";
+  bool first = true;
+  for (const HealthEvent& event : monitor.active()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  ";
+    append_health_event(out, event);
+  }
+  out << "\n],\"history\":[";
+  first = true;
+  for (const HealthEvent& event : monitor.history()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  ";
+    append_health_event(out, event);
+  }
+  out << "\n]}\n";
+  return out.str();
 }
 
 }  // namespace distgnn::obs

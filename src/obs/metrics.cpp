@@ -18,20 +18,34 @@ int latency_bucket(double seconds) {
   return std::min(k, kNumBuckets - 1);
 }
 
+namespace {
+
+// Geometric midpoint of [upper/2, upper): upper / sqrt(2). Bucket 0 is
+// "below 1µs" — report its upper edge.
+double bucket_estimate(int k) {
+  const double upper = bucket_upper_seconds(k);
+  return k == 0 ? upper : upper / std::sqrt(2.0);
+}
+
+}  // namespace
+
 double HistogramData::quantile(double q) const {
   if (count == 0) return 0.0;
   const double target = std::clamp(q, 0.0, 1.0) * static_cast<double>(count);
   std::uint64_t seen = 0;
+  int last_nonzero = -1;
   for (int k = 0; k < kNumBuckets; ++k) {
+    if (buckets[static_cast<std::size_t>(k)] == 0) continue;
+    last_nonzero = k;
     seen += buckets[static_cast<std::size_t>(k)];
-    if (static_cast<double>(seen) >= target && buckets[static_cast<std::size_t>(k)] > 0) {
-      // Geometric midpoint of [upper/2, upper): upper / sqrt(2). Bucket 0 is
-      // "below 1µs" — report its upper edge.
-      const double upper = bucket_upper_seconds(k);
-      return k == 0 ? upper : upper / std::sqrt(2.0);
-    }
+    if (static_cast<double>(seen) >= target) return bucket_estimate(k);
   }
-  return bucket_upper_seconds(kNumBuckets - 1);
+  // count > 0 with every bucket zero (hand-built or parsed data): 0 is the
+  // defined answer, not the ~6-day top bucket.
+  if (last_nonzero < 0) return 0.0;
+  // count exceeds the bucket sum (inconsistent input): clamp the estimate to
+  // the last populated bucket.
+  return bucket_estimate(last_nonzero);
 }
 
 HistogramData& HistogramData::operator+=(const HistogramData& other) {
@@ -68,6 +82,13 @@ void MetricsSnapshot::add_histogram(const std::string& name, const Labels& label
   p.is_histogram = true;
   p.histogram = data;
   points.push_back(std::move(p));
+}
+
+double MetricsSnapshot::quantile(const std::string& name, double q, const Labels& labels) const {
+  const MetricPoint* p = find(name, labels);
+  if (p != nullptr && p->is_histogram) return p->histogram.quantile(q);
+  if (labels.empty()) return histogram_total(name).quantile(q);
+  return 0.0;
 }
 
 void MetricsSnapshot::merge(const MetricsSnapshot& other) {

@@ -99,6 +99,10 @@ struct MetricsSnapshot {
   double counter_total(const std::string& name) const;
   /// Fold of a histogram over every label set it appears with.
   HistogramData histogram_total(const std::string& name) const;
+  /// Quantile of the named histogram: the exact (name, labels) series when
+  /// present, else (with empty labels) the fold over every label set of the
+  /// name. 0 for unknown names and for empty/all-zero histograms.
+  double quantile(const std::string& name, double q, const Labels& labels = {}) const;
 };
 
 namespace detail {

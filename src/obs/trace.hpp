@@ -51,6 +51,11 @@ inline constexpr int kNumStages = 10;
 /// "admit", "queue", ... — the metric label and trace_event name.
 const char* stage_name(Stage stage);
 
+/// Sentinel Trace::tenant for per-delta stream traces (DeltaPublisher's
+/// repartition/apply/invalidate spans): render_chrome_trace lays them out as
+/// their own "stream" process track next to the per-tenant request tracks.
+inline constexpr std::int32_t kStreamTrack = -1;
+
 using TraceClock = std::chrono::steady_clock;
 
 /// One stage's [begin, end) in seconds on the TraceClock epoch. begin < 0

@@ -2,11 +2,17 @@
 
 #include <stdexcept>
 
+#include "obs/health.hpp"
+
 namespace distgnn::serve {
 
 ComposedTier::ComposedTier(const Dataset& dataset, const EdgePartition& partition,
                            ComposedConfig config)
     : num_shards_(partition.num_parts),
+      total_queue_capacity_(static_cast<std::size_t>(config.replicas) *
+                            static_cast<std::size_t>(partition.num_parts) *
+                            config.shard.queue_capacity),
+      tenant_slos_(config.admission.tenants),
       group_(dataset, config.replicas,
              [&](int) { return std::make_unique<ShardedServer>(dataset, partition, config.shard); }),
       router_(group_, config.policy, config.admission) {}
@@ -36,6 +42,18 @@ BackendStats ComposedTier::stats() const {
   s.rejected += routed.shed_deadline + routed.shed_priority + routed.shed_budget;
   if (!routed.tenants.empty()) s.tenants = routed.tenants;
   return s;
+}
+
+void ComposedTier::configure_health(obs::HealthMonitor& monitor,
+                                    const std::string& name) const {
+  monitor.add_source(name, *this);
+  monitor.add_queue_probe(name, [this] { return queue_depth(); }, total_queue_capacity_);
+  monitor.add_barrier_probe(name, [this] { return group_.publishing(); });
+  for (std::size_t t = 0; t < tenant_slos_.size(); ++t) {
+    const TenantSlo& slo = tenant_slos_[t];
+    if (slo.deadline_seconds > 0)
+      monitor.set_slo(static_cast<int>(t), slo.deadline_seconds, slo.slo_target);
+  }
 }
 
 }  // namespace distgnn::serve

@@ -34,6 +34,10 @@
 #include "serve/router.hpp"
 #include "serve/sharded_server.hpp"
 
+namespace distgnn::obs {
+class HealthMonitor;
+}  // namespace distgnn::obs
+
 namespace distgnn::serve {
 
 struct ComposedConfig {
@@ -111,8 +115,17 @@ class ComposedTier : public ServingBackend {
   Router& router() { return router_; }
   ReplicaGroup& group() { return group_; }
 
+  /// Wires the tier into a HealthMonitor: the tier as a scrape source, a
+  /// queue-saturation probe over the grid's aggregate queue capacity, a
+  /// barrier-stuck probe over the group's publish barrier, and one SLO per
+  /// admission tenant with a deadline (burn-rate rule). The tier must
+  /// outlive the monitor's last tick.
+  void configure_health(obs::HealthMonitor& monitor, const std::string& name = "tier") const;
+
  private:
   int num_shards_;
+  std::size_t total_queue_capacity_;
+  std::vector<TenantSlo> tenant_slos_;  // admission tenants, kept for health wiring
   ReplicaGroup group_;
   Router router_;
 };

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/health.hpp"
 #include "util/rng.hpp"
 
 namespace distgnn::serve {
@@ -184,6 +185,24 @@ void ModelRegistry::scrape(obs::MetricsSnapshot& out) const {
 
 void ModelRegistry::collect_traces(std::vector<obs::Trace>& out) const {
   for (const auto& e : entries_) e->backend->collect_traces(out);
+}
+
+void ModelRegistry::configure_health(obs::HealthMonitor& monitor,
+                                     const std::string& name) const {
+  monitor.add_source(name, *this);
+  for (std::size_t t = 0; t < entries_.size(); ++t) {
+    const TenantSlo& slo = entries_[t]->slo;
+    if (slo.deadline_seconds > 0)
+      monitor.set_slo(static_cast<int>(t), slo.deadline_seconds, slo.slo_target);
+  }
+}
+
+obs::HealthConfig make_health_config(const TierConfig& config) {
+  obs::HealthConfig health;
+  health.scrape_period_seconds = config.health_scrape_period_seconds;
+  health.burn_fast_window_seconds = config.health_fast_window_seconds;
+  health.burn_slow_window_seconds = config.health_slow_window_seconds;
+  return health;
 }
 
 std::vector<LoadReport> run_registry_open_loop(ModelRegistry& registry,

@@ -45,6 +45,10 @@
 #include "serve/tenant.hpp"
 #include "serve/traffic_gen.hpp"
 
+namespace distgnn::obs {
+class HealthMonitor;
+}  // namespace distgnn::obs
+
 namespace distgnn::serve {
 
 class ModelRegistry : public obs::ScrapeSource {
@@ -105,6 +109,13 @@ class ModelRegistry : public obs::ScrapeSource {
   /// scrape of the registry walks every tenant's tower down to its leaves.
   void scrape(obs::MetricsSnapshot& out) const override;
   void collect_traces(std::vector<obs::Trace>& out) const override;
+
+  /// Wires the registry into a HealthMonitor: the registry as a scrape
+  /// source plus one burn-rate SLO per entry with a deadline (the entry's
+  /// TenantSlo carries deadline_seconds and slo_target). Call after the
+  /// tenants are added; the registry must outlive the monitor's last tick.
+  void configure_health(obs::HealthMonitor& monitor,
+                        const std::string& name = "registry") const;
 
  private:
   struct Entry {

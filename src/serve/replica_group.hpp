@@ -119,6 +119,14 @@ class ReplicaGroup : public ServingBackend {
   std::uint64_t version() const;
   std::uint64_t publishes() const;
 
+  /// True while a publish / graph-update barrier is closed. The health
+  /// monitor's barrier-stuck watchdog polls this: a wedged barrier parks
+  /// inside the cv wait (mutex released), so the read never blocks on it.
+  bool publishing() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return publishing_;
+  }
+
   /// Admission epoch gate (Router protocol). begin_requests(n) reserves n
   /// admission slots atomically, blocking while a publish barrier is in
   /// progress — which is what pins a whole client batch to one version.

@@ -66,6 +66,11 @@ struct TenantSlo {
   double burst = 16;
   /// Per-tenant staging-queue bound in the weighted-fair router.
   std::size_t stage_capacity = 1024;
+  /// Success-rate objective for the health engine's burn-rate rule: the
+  /// fraction of requests expected to finish within deadline_seconds, so the
+  /// error budget is (1 - slo_target). Admission ignores it; configure_health
+  /// registers it with the HealthMonitor.
+  double slo_target = 0.999;
 };
 
 /// Leaky token bucket over ServeClock. NOT internally synchronized: callers

@@ -17,6 +17,10 @@
 
 #include "serve/tenant.hpp"
 
+namespace distgnn::obs {
+struct HealthConfig;
+}  // namespace distgnn::obs
+
 namespace distgnn::serve {
 
 struct TierConfig {
@@ -50,6 +54,17 @@ struct TierConfig {
   /// entry's lane from here, so a tenant's knobs travel with its tier config
   /// instead of a parallel structure.
   TenantSlo slo;
+
+  /// Health-monitor knobs (make_health_config reads these): the background
+  /// scrape cadence and the SRE dual burn-rate windows evaluated against
+  /// slo.deadline_seconds / slo.slo_target.
+  double health_scrape_period_seconds = 0.05;
+  double health_fast_window_seconds = 1.0;
+  double health_slow_window_seconds = 6.0;
 };
+
+/// Translates a tier's health knobs into a HealthMonitor config (everything
+/// else stays at HealthConfig defaults). Defined in model_registry.cpp.
+obs::HealthConfig make_health_config(const TierConfig& config);
 
 }  // namespace distgnn::serve

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/health.hpp"
 #include "serve/model_snapshot.hpp"
 
 namespace distgnn::stream {
@@ -69,15 +70,18 @@ std::uint64_t DeltaPublisher::publish(const GraphDelta& delta) {
   // Barrier window: graph move-assign (CSRs already built — a pointer swap),
   // feature-row overwrites, then the backend's own cache invalidation.
   double apply_seconds = 0;
+  auto apply_begin = prepare_end;
+  auto apply_end = prepare_end;
   backend_.apply_graph_update(
       [&] {
-        const auto apply_begin = Clock::now();
+        apply_begin = Clock::now();
         dataset_.graph = std::move(prepared);
         dataset_.edge_types = std::move(edge_types);
         for (const FeatureUpdate& fu : delta.feature_updates)
           std::copy(fu.row.begin(), fu.row.end(),
                     dataset_.features.row(static_cast<std::size_t>(fu.vertex)));
-        apply_seconds = seconds_between(apply_begin, Clock::now());
+        apply_end = Clock::now();
+        apply_seconds = seconds_between(apply_begin, apply_end);
       },
       notice);
   const auto barrier_end = Clock::now();
@@ -98,6 +102,23 @@ std::uint64_t DeltaPublisher::publish(const GraphDelta& delta) {
   stage_metrics_.observe_stage(
       obs::Stage::kInvalidate, /*tenant=*/0,
       std::max(0.0, seconds_between(prepare_end, barrier_end) - apply_seconds));
+
+  // Every publication leaves a trace on the stream track (deltas are rare
+  // relative to requests, so no sampling): prepare as kRepartition, the
+  // in-barrier mutation as kApply, the rest of the barrier window —
+  // rendezvous plus cache invalidation — as kInvalidate.
+  obs::Trace trace;
+  trace.request_id = epoch_;
+  trace.tenant = obs::kStreamTrack;
+  trace.begin_seconds = obs::TraceContext::seconds(prepare_begin);
+  trace.end_seconds = obs::TraceContext::seconds(barrier_end);
+  trace.spans[static_cast<std::size_t>(obs::Stage::kRepartition)] =
+      obs::make_span(prepare_begin, prepare_end);
+  trace.spans[static_cast<std::size_t>(obs::Stage::kApply)] =
+      obs::make_span(apply_begin, apply_end);
+  trace.spans[static_cast<std::size_t>(obs::Stage::kInvalidate)] =
+      obs::make_span(apply_end, barrier_end);
+  trace_sink_.publish(trace);
   return epoch_;
 }
 
@@ -127,6 +148,17 @@ void DeltaPublisher::scrape(obs::MetricsSnapshot& out) const {
   out.add_counter("distgnn_stream_dirty_entries_total", {}, static_cast<double>(s.dirty_entries));
   out.add_counter("distgnn_stream_full_flush_equivalent_total", {},
                   static_cast<double>(s.full_flush_equivalent));
+}
+
+void DeltaPublisher::collect_traces(std::vector<obs::Trace>& out) const {
+  trace_sink_.collect(out);
+}
+
+void DeltaPublisher::configure_health(obs::HealthMonitor& monitor, const DeltaLog& log,
+                                      const std::string& name) const {
+  monitor.add_source(name, *this);
+  monitor.add_epoch_probe(
+      name, [this] { return epoch(); }, [&log] { return log.sealed_epochs(); });
 }
 
 }  // namespace distgnn::stream

@@ -30,9 +30,14 @@
 #include "graph/datasets.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scrape.hpp"
+#include "obs/trace.hpp"
 #include "partition/libra.hpp"
 #include "serve/backend.hpp"
 #include "stream/graph_delta.hpp"
+
+namespace distgnn::obs {
+class HealthMonitor;
+}  // namespace distgnn::obs
 
 namespace distgnn::stream {
 
@@ -77,6 +82,17 @@ class DeltaPublisher : public obs::ScrapeSource {
 
   /// ScrapeSource: the stream-layer stage histograms + delta counters.
   void scrape(obs::MetricsSnapshot& out) const override;
+  /// Per-delta publication traces: repartition/apply/invalidate spans on the
+  /// kStreamTrack tenant (request_id = epoch), so render_chrome_trace lays
+  /// delta publication out as its own track next to request spans.
+  void collect_traces(std::vector<obs::Trace>& out) const override;
+
+  /// Wires the publisher into a HealthMonitor: the publisher as a scrape
+  /// source plus the graph-epoch freshness probe — served epoch (last
+  /// publish) vs `log`'s sealed head. Both this publisher and `log` must
+  /// outlive the monitor's last tick.
+  void configure_health(obs::HealthMonitor& monitor, const DeltaLog& log,
+                        const std::string& name = "stream") const;
 
  private:
   Dataset& dataset_;
@@ -90,6 +106,7 @@ class DeltaPublisher : public obs::ScrapeSource {
 
   obs::MetricsRegistry metrics_;
   obs::StageMetrics stage_metrics_{metrics_, "stream"};
+  obs::TraceSink trace_sink_{/*ring_capacity=*/64, /*top_k=*/8};
 };
 
 }  // namespace distgnn::stream

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -271,6 +272,137 @@ TEST(ObsExpose, ChromeTraceContainsStageEvents) {
   EXPECT_NE(json.find("\"name\":\"forward\""), std::string::npos);
   EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
   EXPECT_EQ(json.find("\"name\":\"admit\""), std::string::npos);  // span never ran
+}
+
+TEST(ObsExpose, ChromeTraceStreamTrack) {
+  // A delta-publication trace rides the kStreamTrack pseudo-tenant: its own
+  // process track named "stream", cat "stream", and args keyed by epoch.
+  obs::Trace t;
+  t.request_id = 7;  // the epoch
+  t.tenant = obs::kStreamTrack;
+  t.begin_seconds = 5.0;
+  t.end_seconds = 5.02;
+  t.spans[static_cast<std::size_t>(obs::Stage::kRepartition)] = obs::Span{5.0, 5.012};
+  t.spans[static_cast<std::size_t>(obs::Stage::kApply)] = obs::Span{5.012, 5.015};
+  t.spans[static_cast<std::size_t>(obs::Stage::kInvalidate)] = obs::Span{5.015, 5.02};
+  const obs::Trace traces[] = {t};
+  const std::string json = obs::render_chrome_trace(traces);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"stream\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"repartition\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"apply\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"invalidate\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"stream\""), std::string::npos);
+  EXPECT_NE(json.find("\"epoch\":7"), std::string::npos);
+  EXPECT_EQ(json.find("\"vertex\""), std::string::npos);
+  EXPECT_EQ(json.find("tenant -1"), std::string::npos);
+}
+
+TEST(ObsExpose, ChromeTraceMixedServeAndStreamTracks) {
+  obs::Trace request;
+  request.request_id = 3;
+  request.tenant = 0;
+  request.vertex = 42;
+  request.begin_seconds = 1.0;
+  request.end_seconds = 1.01;
+  request.spans[static_cast<std::size_t>(obs::Stage::kForward)] = obs::Span{1.0, 1.01};
+  obs::Trace delta;
+  delta.request_id = 2;
+  delta.tenant = obs::kStreamTrack;
+  delta.begin_seconds = 1.002;
+  delta.end_seconds = 1.008;
+  delta.spans[static_cast<std::size_t>(obs::Stage::kApply)] = obs::Span{1.002, 1.008};
+  const obs::Trace traces[] = {request, delta};
+  const std::string json = obs::render_chrome_trace(traces);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"tenant 0\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"stream\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"serve\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"stream\""), std::string::npos);
+  EXPECT_NE(json.find("\"vertex\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"epoch\":2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Quantile edge cases (empty / all-zero histograms stay defined)
+
+TEST(ObsMetrics, QuantileDefinedOnDegenerateHistograms) {
+  // Empty histogram: no samples at all.
+  obs::HistogramData empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.99), 0.0);
+  // All-zero durations land in bucket 0 and must not walk off the table.
+  obs::MetricsRegistry registry(2);
+  obs::Histogram& h = registry.histogram("distgnn_test_zero_seconds", {});
+  h.observe(0.0);
+  h.observe(0.0);
+  h.observe(-1.0);  // junk input also folds into bucket 0
+  obs::MetricsSnapshot snap;
+  registry.scrape(snap);
+  const obs::MetricPoint* p = snap.find("distgnn_test_zero_seconds", {});
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->histogram.count, 3u);
+  const double q99 = p->histogram.quantile(0.99);
+  EXPECT_GE(q99, 0.0);
+  EXPECT_LE(q99, obs::bucket_upper_seconds(0));
+  // Count inflated beyond the bucket sum (possible when merging partially
+  // scraped shards) must clamp to the last populated bucket, not run off
+  // the end of the table.
+  obs::HistogramData skewed;
+  skewed.buckets[3] = 1;
+  skewed.count = 100;
+  EXPECT_LE(skewed.quantile(0.999), obs::bucket_upper_seconds(3));
+  EXPECT_GT(skewed.quantile(0.999), 0.0);
+}
+
+TEST(ObsMetrics, SnapshotQuantileLookup) {
+  obs::MetricsRegistry registry(2);
+  obs::Histogram& h = registry.histogram("distgnn_test_lat_seconds", {{"stage", "forward"}});
+  for (int i = 0; i < 100; ++i) h.observe(1e-3);
+  obs::MetricsSnapshot snap;
+  registry.scrape(snap);
+  const double q = snap.quantile("distgnn_test_lat_seconds", 0.5, {{"stage", "forward"}});
+  EXPECT_GT(q, 0.5e-3 / std::sqrt(2.0));
+  EXPECT_LE(q, 1.024e-3);
+  // Empty labels folds every series of that name.
+  const double qall = snap.quantile("distgnn_test_lat_seconds", 0.5);
+  EXPECT_DOUBLE_EQ(qall, q);
+  // Unknown series: defined zero, not a throw.
+  EXPECT_DOUBLE_EQ(snap.quantile("distgnn_test_absent_seconds", 0.99), 0.0);
+  EXPECT_DOUBLE_EQ(snap.quantile("distgnn_test_lat_seconds", 0.5, {{"stage", "nope"}}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// parse_prometheus rejection paths
+
+TEST(ObsExpose, ParseRejectsBadLabelEscaping) {
+  // Dangling backslash at end of a label value.
+  EXPECT_THROW(obs::parse_prometheus("m{l=\"a\\"), std::runtime_error);
+  // Unsupported escape sequence.
+  EXPECT_THROW(obs::parse_prometheus("m{l=\"a\\t\"} 1\n"), std::runtime_error);
+  // Empty label name.
+  EXPECT_THROW(obs::parse_prometheus("m{=\"v\"} 1\n"), std::runtime_error);
+  // Unterminated label block.
+  EXPECT_THROW(obs::parse_prometheus("m{l=\"v\" 1\n"), std::runtime_error);
+}
+
+TEST(ObsExpose, ParseRejectsNonNumericValue) {
+  EXPECT_THROW(obs::parse_prometheus("distgnn_x_total 12abc\n"), std::runtime_error);
+  EXPECT_THROW(obs::parse_prometheus("distgnn_x_total notanumber\n"), std::runtime_error);
+  EXPECT_THROW(obs::parse_prometheus("distgnn_x_total\n"), std::runtime_error);
+  // Valid exotic numerics must still pass.
+  const obs::MetricsSnapshot inf_ok = obs::parse_prometheus("distgnn_x_total +Inf\n");
+  const obs::MetricPoint* p = inf_ok.find("distgnn_x_total", {});
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(std::isinf(p->value));
+}
+
+TEST(ObsExpose, ParseRejectsTruncatedComments) {
+  EXPECT_THROW(obs::parse_prometheus("# TYPE\n"), std::runtime_error);
+  EXPECT_THROW(obs::parse_prometheus("# TYPE distgnn_x_total\n"), std::runtime_error);
+  EXPECT_THROW(obs::parse_prometheus("# TYPE distgnn_x_total bogus\n"), std::runtime_error);
+  EXPECT_THROW(obs::parse_prometheus("# HELP\n"), std::runtime_error);
+  // Non-directive comments stay ignorable.
+  const obs::MetricsSnapshot ok = obs::parse_prometheus("# scraped by distgnn\nm_total 1\n");
+  EXPECT_NE(ok.find("m_total", {}), nullptr);
 }
 
 // ---------------------------------------------------------------------------

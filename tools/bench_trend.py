@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Benchmark trend check: compare a google-benchmark JSON result against a
+committed baseline and fail on tail-latency regressions.
+
+Usage:
+    tools/bench_trend.py --baseline bench/baselines/bench_serving.json \
+        --current bench_serving.json [--max-regression 0.25]
+
+Every benchmark present in BOTH files is compared on its latency-tail
+counters (any counter whose name starts with "p99"). A counter that grew by
+more than --max-regression (default 25%) over the baseline fails the check;
+benchmarks or counters present on only one side are reported but do not
+fail, so adding a benchmark does not require regenerating every baseline in
+the same commit.
+
+Baselines are captured on a quiet machine with the same flags CI uses
+(`--seed=5 --benchmark_min_time=0.01`); regenerate with
+`--benchmark_out=<baseline path> --benchmark_out_format=json` after an
+intentional performance change, and say so in the commit message.
+
+Stdlib only — no pip installs on the runner.
+"""
+
+import argparse
+import json
+import sys
+
+TAIL_PREFIX = "p99"
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev) duplicate the underlying
+        # samples; prefer the median when repetitions were used, else the
+        # plain run.
+        run_type = bench.get("run_type", "iteration")
+        agg = bench.get("aggregate_name", "")
+        if run_type == "aggregate" and agg != "median":
+            continue
+        name = bench["name"]
+        if run_type == "aggregate":
+            name = name.rsplit("_" + agg, 1)[0]
+        out[name] = bench
+    return out
+
+
+def tail_counters(bench):
+    return {
+        key: value
+        for key, value in bench.items()
+        if key.startswith(TAIL_PREFIX) and isinstance(value, (int, float))
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="maximum allowed fractional growth of a p99 counter (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    failures = []
+    compared = 0
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"note: {name}: in baseline only, skipping")
+            continue
+        base_tails = tail_counters(baseline[name])
+        curr_tails = tail_counters(current[name])
+        for counter in sorted(base_tails):
+            if counter not in curr_tails:
+                print(f"note: {name}/{counter}: missing from current run, skipping")
+                continue
+            base, curr = base_tails[counter], curr_tails[counter]
+            if base <= 0:
+                continue
+            compared += 1
+            growth = curr / base - 1.0
+            verdict = "ok"
+            if growth > args.max_regression:
+                verdict = "REGRESSION"
+                failures.append((name, counter, base, curr, growth))
+            print(
+                f"{verdict:>10}  {name}/{counter}: "
+                f"{base:.4f} -> {curr:.4f} ({growth:+.1%})"
+            )
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note: {name}: new benchmark, no baseline yet")
+
+    if compared == 0:
+        print("error: no comparable p99 counters between baseline and current")
+        return 2
+    if failures:
+        print(f"\n{len(failures)} tail regression(s) beyond "
+              f"{args.max_regression:.0%}:")
+        for name, counter, base, curr, growth in failures:
+            print(f"  {name}/{counter}: {base:.4f} -> {curr:.4f} ({growth:+.1%})")
+        return 1
+    print(f"\nall {compared} tail counters within {args.max_regression:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
