@@ -29,7 +29,6 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,6 +45,7 @@
 #include "stream/delta_publisher.hpp"
 #include "stream/graph_delta.hpp"
 #include "util/options.hpp"
+#include "util/sync.hpp"
 
 using namespace distgnn;
 using namespace distgnn::serve;
@@ -59,17 +59,17 @@ void sleep_seconds(double s) {
 /// Thread-safe tally of fire/resolve transitions per rule, fed by the
 /// monitor callback (which runs on the monitor's scrape thread).
 struct EventTally {
-  std::mutex mutex;
-  int fired[obs::kNumHealthRules] = {};
-  int resolved[obs::kNumHealthRules] = {};
+  util::Mutex mutex;
+  int fired[obs::kNumHealthRules] GUARDED_BY(mutex) = {};
+  int resolved[obs::kNumHealthRules] GUARDED_BY(mutex) = {};
 
   void record(const obs::HealthEvent& event) {
-    std::lock_guard<std::mutex> lock(mutex);
+    util::MutexLock lock(mutex);
     auto& slot = event.firing ? fired : resolved;
     ++slot[static_cast<std::size_t>(event.rule)];
   }
   int count(obs::HealthRule rule, bool firing) {
-    std::lock_guard<std::mutex> lock(mutex);
+    util::MutexLock lock(mutex);
     return (firing ? fired : resolved)[static_cast<std::size_t>(rule)];
   }
   bool saw_pair(obs::HealthRule rule) {

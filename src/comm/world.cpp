@@ -18,14 +18,14 @@ World::World(int num_ranks) : num_ranks_(num_ranks) {
 World::~World() = default;
 
 void World::barrier_wait() {
-  std::unique_lock lock(barrier_mutex_);
+  util::MutexLock lock(barrier_mutex_);
   const std::uint64_t my_generation = barrier_generation_;
   if (++barrier_arrived_ == num_ranks_) {
     barrier_arrived_ = 0;
     ++barrier_generation_;
     barrier_cv_.notify_all();
   } else {
-    barrier_cv_.wait(lock, [&] { return barrier_generation_ != my_generation; });
+    while (barrier_generation_ == my_generation) barrier_cv_.wait(lock);
   }
 }
 
@@ -157,7 +157,7 @@ void Communicator::send(int dest, int tag, std::vector<real_t> payload) {
   if (dest != rank_) st.bytes_sent += payload.size() * sizeof(real_t);
   World::Mailbox& mb = *world_.mailboxes_[static_cast<std::size_t>(dest)];
   {
-    const std::lock_guard lock(mb.mutex);
+    util::MutexLock lock(mb.mutex);
     mb.queues[{rank_, tag}].push_back(std::move(payload));
   }
   mb.cv.notify_all();
@@ -165,9 +165,9 @@ void Communicator::send(int dest, int tag, std::vector<real_t> payload) {
 
 std::vector<real_t> Communicator::recv(int source, int tag) {
   World::Mailbox& mb = *world_.mailboxes_[static_cast<std::size_t>(rank_)];
-  std::unique_lock lock(mb.mutex);
+  util::MutexLock lock(mb.mutex);
   auto& queue = mb.queues[{source, tag}];
-  mb.cv.wait(lock, [&] { return !queue.empty(); });
+  while (queue.empty()) mb.cv.wait(lock);
   std::vector<real_t> payload = std::move(queue.front());
   queue.pop_front();
   return payload;
@@ -175,7 +175,7 @@ std::vector<real_t> Communicator::recv(int source, int tag) {
 
 std::optional<std::vector<real_t>> Communicator::try_recv(int source, int tag) {
   World::Mailbox& mb = *world_.mailboxes_[static_cast<std::size_t>(rank_)];
-  const std::lock_guard lock(mb.mutex);
+  util::MutexLock lock(mb.mutex);
   const auto it = mb.queues.find({source, tag});
   if (it == mb.queues.end() || it->second.empty()) return std::nullopt;
   std::vector<real_t> payload = std::move(it->second.front());

@@ -17,18 +17,17 @@
 // about it.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "util/types.hpp"
+#include "util/sync.hpp"
 
 namespace distgnn {
 
@@ -71,9 +70,10 @@ class World {
   };
 
   struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::map<std::pair<int, int>, std::deque<std::vector<real_t>>> queues;  // (src, tag)
+    util::Mutex mutex;
+    util::CondVar cv;
+    std::map<std::pair<int, int>, std::deque<std::vector<real_t>>> queues
+        GUARDED_BY(mutex);  // (src, tag)
   };
 
   // Generation-counting barrier (std::barrier needs a fixed completion fn;
@@ -84,10 +84,10 @@ class World {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<CommStats> stats_;
 
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
-  int barrier_arrived_ = 0;
-  std::uint64_t barrier_generation_ = 0;
+  util::Mutex barrier_mutex_;
+  util::CondVar barrier_cv_;
+  int barrier_arrived_ GUARDED_BY(barrier_mutex_) = 0;
+  std::uint64_t barrier_generation_ GUARDED_BY(barrier_mutex_) = 0;
 
   // Collective scratch: pointers registered per rank, valid between the two
   // barriers that bracket each collective.

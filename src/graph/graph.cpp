@@ -8,7 +8,7 @@ const CsrMatrix& Graph::in_csr() const {
   // Double-checked lazy build: the atomic publish makes the fast path
   // lock-free once the CSR exists.
   if (const CsrMatrix* ready = in_ready_.load(std::memory_order_acquire)) return *ready;
-  const std::lock_guard lock(*lazy_mutex_);
+  util::MutexLock lock(*lazy_mutex_);
   if (!in_csr_) {
     in_csr_ = std::make_unique<CsrMatrix>(CsrMatrix::from_coo(coo_));
     in_ready_.store(in_csr_.get(), std::memory_order_release);
@@ -18,7 +18,7 @@ const CsrMatrix& Graph::in_csr() const {
 
 const CsrMatrix& Graph::out_csr() const {
   if (const CsrMatrix* ready = out_ready_.load(std::memory_order_acquire)) return *ready;
-  const std::lock_guard lock(*lazy_mutex_);
+  util::MutexLock lock(*lazy_mutex_);
   if (!out_csr_) {
     out_csr_ = std::make_unique<CsrMatrix>(CsrMatrix::transpose_from_coo(coo_));
     out_ready_.store(out_csr_.get(), std::memory_order_release);

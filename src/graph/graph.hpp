@@ -4,12 +4,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "graph/coo.hpp"
 #include "graph/csr.hpp"
+#include "util/sync.hpp"
 #include "util/types.hpp"
 
 namespace distgnn {
@@ -41,8 +41,10 @@ class Graph {
   EdgeList coo_;
   // Lazy CSR construction is guarded so concurrent rank threads sharing one
   // Graph (the mini-batch trainers sample against the same in_csr) are safe.
-  // The mutex lives on the heap so the Graph itself stays movable.
-  mutable std::shared_ptr<std::mutex> lazy_mutex_ = std::make_shared<std::mutex>();
+  // The mutex lives on the heap so the Graph itself stays movable (the
+  // GUARDED_BY contract is documented rather than annotated: clang cannot
+  // track a capability behind a shared_ptr indirection).
+  mutable std::shared_ptr<util::Mutex> lazy_mutex_ = std::make_shared<util::Mutex>();
   mutable std::atomic<CsrMatrix*> in_ready_{nullptr};
   mutable std::atomic<CsrMatrix*> out_ready_{nullptr};
   mutable std::unique_ptr<CsrMatrix> in_csr_;
@@ -59,7 +61,7 @@ class Graph {
     if (this != &other) {
       coo_ = std::move(other.coo_);
       lazy_mutex_ = std::move(other.lazy_mutex_);
-      other.lazy_mutex_ = std::make_shared<std::mutex>();  // keep moved-from usable
+      other.lazy_mutex_ = std::make_shared<util::Mutex>();  // keep moved-from usable
       in_csr_ = std::move(other.in_csr_);
       out_csr_ = std::move(other.out_csr_);
       in_ready_.store(in_csr_.get(), std::memory_order_release);

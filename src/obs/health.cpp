@@ -68,7 +68,7 @@ HealthMonitor::HealthMonitor(HealthConfig config, std::shared_ptr<HealthClock> c
 HealthMonitor::~HealthMonitor() { stop(); }
 
 void HealthMonitor::add_source(std::string name, const ScrapeSource& source) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto state = std::make_unique<SourceState>();
   state->name = std::move(name);
   state->source = &source;
@@ -80,7 +80,7 @@ void HealthMonitor::add_source(std::string name, const ScrapeSource& source) {
 }
 
 void HealthMonitor::set_slo(int tenant, double deadline_seconds, double target) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (std::size_t i = 0; i < slos_.size(); ++i) {
     if (slos_[i].tenant == tenant) {
       slos_[i].deadline_seconds = deadline_seconds;
@@ -94,7 +94,7 @@ void HealthMonitor::set_slo(int tenant, double deadline_seconds, double target) 
 
 void HealthMonitor::add_queue_probe(std::string name, std::function<std::size_t()> depth,
                                     std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   QueueProbe probe;
   probe.labels = Labels{{"queue", name}};
   probe.name = std::move(name);
@@ -104,7 +104,7 @@ void HealthMonitor::add_queue_probe(std::string name, std::function<std::size_t(
 }
 
 void HealthMonitor::add_barrier_probe(std::string name, std::function<bool()> closed) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   BarrierProbe probe;
   probe.name = std::move(name);
   probe.closed = std::move(closed);
@@ -113,7 +113,7 @@ void HealthMonitor::add_barrier_probe(std::string name, std::function<bool()> cl
 
 void HealthMonitor::add_epoch_probe(std::string name, std::function<std::uint64_t()> served,
                                     std::function<std::uint64_t()> sealed) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   EpochProbe probe;
   probe.labels = Labels{{"probe", name}};
   probe.name = std::move(name);
@@ -123,7 +123,7 @@ void HealthMonitor::add_epoch_probe(std::string name, std::function<std::uint64_
 }
 
 void HealthMonitor::on_event(std::function<void(const HealthEvent&)> callback) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   callbacks_.push_back(std::move(callback));
 }
 
@@ -131,7 +131,7 @@ void HealthMonitor::tick() {
   std::vector<HealthEvent> emitted;
   std::vector<std::function<void(const HealthEvent&)>> callbacks;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     const double now = clock_->now_seconds();
     ++ticks_;
     for (auto& src : sources_) {
@@ -342,12 +342,12 @@ void HealthMonitor::update_alert_locked(HealthRule rule, const std::string& subj
 }
 
 std::uint64_t HealthMonitor::ticks() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return ticks_;
 }
 
 std::vector<HealthEvent> HealthMonitor::active() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<HealthEvent> out;
   for (const AlertState& s : alerts_)
     if (s.active) out.push_back(s.last);
@@ -355,44 +355,40 @@ std::vector<HealthEvent> HealthMonitor::active() const {
 }
 
 std::vector<HealthEvent> HealthMonitor::history() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return std::vector<HealthEvent>(history_.begin(), history_.end());
 }
 
 std::uint64_t HealthMonitor::series_allocations() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::uint64_t total = probe_store_.allocations();
   for (const auto& src : sources_) total += src->store.allocations();
   return total;
 }
 
 std::size_t HealthMonitor::num_series() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::size_t total = probe_store_.num_series();
   for (const auto& src : sources_) total += src->store.num_series();
   return total;
 }
 
 const TimeSeriesStore* HealthMonitor::store(std::string_view source_name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (const auto& src : sources_)
     if (src->name == source_name) return &src->store;
   return nullptr;
 }
 
 std::string HealthMonitor::summary_line() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::ostringstream out;
   std::size_t firing = 0;
   for (const AlertState& s : alerts_)
     if (s.active) ++firing;
-  out << "health: ticks=" << ticks_ << " series="
-      << [&] {
-           std::size_t total = probe_store_.num_series();
-           for (const auto& src : sources_) total += src->store.num_series();
-           return total;
-         }()
-      << " firing=" << firing;
+  std::size_t series = probe_store_.num_series();
+  for (const auto& src : sources_) series += src->store.num_series();
+  out << "health: ticks=" << ticks_ << " series=" << series << " firing=" << firing;
   if (firing > 0) {
     out << " [";
     bool first = true;
@@ -409,7 +405,7 @@ std::string HealthMonitor::summary_line() const {
 }
 
 void HealthMonitor::scrape(MetricsSnapshot& out) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   out.add_counter("distgnn_health_ticks_total", {}, static_cast<double>(ticks_));
   std::size_t series = probe_store_.num_series();
   std::uint64_t allocations = probe_store_.allocations();
@@ -435,7 +431,7 @@ void HealthMonitor::scrape(MetricsSnapshot& out) const {
 }
 
 void HealthMonitor::start() {
-  std::lock_guard<std::mutex> lock(run_mutex_);
+  util::MutexLock lock(run_mutex_);
   if (running_) return;
   running_ = true;
   thread_ = std::thread([this] { run_loop(); });
@@ -443,7 +439,7 @@ void HealthMonitor::start() {
 
 void HealthMonitor::stop() {
   {
-    std::lock_guard<std::mutex> lock(run_mutex_);
+    util::MutexLock lock(run_mutex_);
     if (!running_) {
       if (thread_.joinable()) thread_.join();
       return;
@@ -455,14 +451,21 @@ void HealthMonitor::stop() {
 }
 
 void HealthMonitor::run_loop() {
-  std::unique_lock<std::mutex> lock(run_mutex_);
+  util::MutexLock lock(run_mutex_);
   while (running_) {
     lock.unlock();
     tick();
     lock.lock();
-    if (!running_) break;
-    cv_.wait_for(lock, std::chrono::duration<double>(config_.scrape_period_seconds),
-                 [this] { return !running_; });
+    // Timed sleep with stop responsiveness: a stop() between ticks notifies
+    // cv_ and flips running_, so re-check after every wakeup (spurious or
+    // not) instead of trusting a single wait_for.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(config_.scrape_period_seconds));
+    while (running_) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
   }
 }
 

@@ -34,18 +34,17 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/scrape.hpp"
 #include "obs/timeseries.hpp"
+#include "util/sync.hpp"
 
 namespace distgnn::obs {
 
@@ -249,34 +248,34 @@ class HealthMonitor : public ScrapeSource {
     HealthEvent last;  // the firing event, kept for active()
   };
 
-  void evaluate_locked(double now, std::vector<HealthEvent>& emitted);
+  void evaluate_locked(double now, std::vector<HealthEvent>& emitted) REQUIRES(mutex_);
   void update_alert_locked(HealthRule rule, const std::string& subject, int tenant,
                            bool condition, Severity severity, double value, double threshold,
-                           double now, std::vector<HealthEvent>& emitted);
+                           double now, std::vector<HealthEvent>& emitted) REQUIRES(mutex_);
   void run_loop();
 
   HealthConfig config_;
   std::shared_ptr<HealthClock> clock_;
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<SourceState>> sources_;
-  std::vector<HealthSlo> slos_;
-  std::vector<std::string> slo_labels_;  // prebuilt tenant label values
-  TimeSeriesStore probe_store_;
-  std::vector<QueueProbe> queue_probes_;
-  std::vector<BarrierProbe> barrier_probes_;
-  std::vector<EpochProbe> epoch_probes_;
-  std::vector<AlertState> alerts_;
-  std::deque<HealthEvent> history_;
-  std::vector<std::function<void(const HealthEvent&)>> callbacks_;
-  MetricsSnapshot scratch_;  // reused scrape buffer
-  std::uint64_t ticks_ = 0;
-  std::array<std::uint64_t, kNumHealthRules> events_total_{};
+  mutable util::Mutex mutex_;
+  std::vector<std::unique_ptr<SourceState>> sources_ GUARDED_BY(mutex_);
+  std::vector<HealthSlo> slos_ GUARDED_BY(mutex_);
+  std::vector<std::string> slo_labels_ GUARDED_BY(mutex_);  // prebuilt tenant label values
+  TimeSeriesStore probe_store_ GUARDED_BY(mutex_);
+  std::vector<QueueProbe> queue_probes_ GUARDED_BY(mutex_);
+  std::vector<BarrierProbe> barrier_probes_ GUARDED_BY(mutex_);
+  std::vector<EpochProbe> epoch_probes_ GUARDED_BY(mutex_);
+  std::vector<AlertState> alerts_ GUARDED_BY(mutex_);
+  std::deque<HealthEvent> history_ GUARDED_BY(mutex_);
+  std::vector<std::function<void(const HealthEvent&)>> callbacks_ GUARDED_BY(mutex_);
+  MetricsSnapshot scratch_ GUARDED_BY(mutex_);  // reused scrape buffer
+  std::uint64_t ticks_ GUARDED_BY(mutex_) = 0;
+  std::array<std::uint64_t, kNumHealthRules> events_total_ GUARDED_BY(mutex_){};
 
   std::thread thread_;
-  std::condition_variable cv_;
-  std::mutex run_mutex_;
-  bool running_ = false;
+  util::CondVar cv_;
+  util::Mutex run_mutex_;
+  bool running_ GUARDED_BY(run_mutex_) = false;
 };
 
 }  // namespace distgnn::obs

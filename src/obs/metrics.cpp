@@ -170,7 +170,7 @@ int auto_shards(int requested) {
 MetricsRegistry::MetricsRegistry(int num_shards) : num_shards_(auto_shards(num_shards)) {}
 
 Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (Entry& e : entries_)
     if (e.counter && e.name == name && e.labels == labels) return *e.counter;
   Entry e;
@@ -182,7 +182,7 @@ Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels)
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name, const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (Entry& e : entries_)
     if (e.histogram && e.name == name && e.labels == labels) return *e.histogram;
   Entry e;
@@ -194,7 +194,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name, const Labels& lab
 }
 
 void MetricsRegistry::scrape(MetricsSnapshot& out) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (const Entry& e : entries_) {
     if (e.counter)
       out.add_counter(e.name, e.labels, static_cast<double>(e.counter->value()));
@@ -218,7 +218,7 @@ CounterFamily::~CounterFamily() {
 Counter& CounterFamily::with(int id) {
   for (Node* node = head_.load(std::memory_order_acquire); node; node = node->next)
     if (node->id == id) return *node->counter;
-  std::lock_guard<std::mutex> lock(grow_mutex_);
+  util::MutexLock lock(grow_mutex_);
   for (Node* node = head_.load(std::memory_order_relaxed); node; node = node->next)
     if (node->id == id) return *node->counter;
   Node* node = new Node{id, &registry_.counter(name_, {{label_key_, std::to_string(id)}}),
@@ -261,7 +261,7 @@ void HistogramFamily::for_each(const std::function<void(int, const Histogram&)>&
 Histogram& HistogramFamily::with(int id) {
   for (Node* node = head_.load(std::memory_order_acquire); node; node = node->next)
     if (node->id == id) return *node->histogram;
-  std::lock_guard<std::mutex> lock(grow_mutex_);
+  util::MutexLock lock(grow_mutex_);
   for (Node* node = head_.load(std::memory_order_relaxed); node; node = node->next)
     if (node->id == id) return *node->histogram;
   Labels labels = base_labels_;

@@ -28,10 +28,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace distgnn::obs {
 
@@ -188,8 +189,8 @@ class MetricsRegistry {
   };
 
   int num_shards_;
-  mutable std::mutex mutex_;  // registration + scrape enumeration only
-  std::deque<Entry> entries_;  // deque: stable addresses across growth
+  mutable util::Mutex mutex_;  // registration + scrape enumeration only
+  std::deque<Entry> entries_ GUARDED_BY(mutex_);  // deque: stable addresses across growth
 };
 
 /// Per-tenant counter handles cached behind a lock-free read: with(id) walks
@@ -217,7 +218,7 @@ class CounterFamily {
   MetricsRegistry& registry_;
   std::string name_, label_key_;
   std::atomic<Node*> head_{nullptr};
-  std::mutex grow_mutex_;
+  util::Mutex grow_mutex_;  // serializes registrations; reads are lock-free
 };
 
 /// Histogram analogue of CounterFamily.
@@ -244,7 +245,7 @@ class HistogramFamily {
   std::string name_, label_key_;
   Labels base_labels_;
   std::atomic<Node*> head_{nullptr};
-  std::mutex grow_mutex_;
+  util::Mutex grow_mutex_;  // serializes registrations; reads are lock-free
 };
 
 }  // namespace distgnn::obs

@@ -76,7 +76,7 @@ void TraceSink::publish(const Trace& trace) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(top_mutex_);
+    util::MutexLock lock(top_mutex_);
     const auto pos = std::find_if(top_.begin(), top_.end(), [&](const Trace& t) {
       return t.total_seconds() < trace.total_seconds();
     });
@@ -113,7 +113,7 @@ std::vector<Trace> TraceSink::ring_snapshot() const {
 }
 
 std::vector<Trace> TraceSink::slowest() const {
-  std::lock_guard<std::mutex> lock(top_mutex_);
+  util::MutexLock lock(top_mutex_);
   return top_;
 }
 

@@ -28,8 +28,9 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace distgnn::obs {
 
@@ -179,9 +180,9 @@ class TraceSink {
   std::atomic<std::uint64_t> next_ticket_{0};
   std::atomic<std::uint64_t> published_{0};
 
-  mutable std::mutex top_mutex_;
+  mutable util::Mutex top_mutex_;
   int top_k_;
-  std::vector<Trace> top_;  // kept sorted, slowest first
+  std::vector<Trace> top_ GUARDED_BY(top_mutex_);  // kept sorted, slowest first
 };
 
 }  // namespace distgnn::obs

@@ -1,9 +1,7 @@
 #include "serve/backend.hpp"
 
 #include <chrono>
-#include <condition_variable>
 #include <future>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -86,26 +84,26 @@ std::vector<std::optional<InferResult>> ServingBackend::infer_batch(
   std::vector<std::optional<InferResult>> results(n);
   if (n == 0) return results;
 
-  std::mutex mutex;
-  std::condition_variable cv;
+  util::Mutex mutex;
+  util::CondVar cv;
   std::size_t pending = 0;
   for (std::size_t i = 0; i < n; ++i) {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      util::MutexLock lock(mutex);
       ++pending;
     }
     const bool ok = submit(vertices[i], meta, [&, i](InferResult&& result) {
-      std::lock_guard<std::mutex> lock(mutex);
+      util::MutexLock lock(mutex);
       results[i] = std::move(result);
       if (--pending == 0) cv.notify_all();
     });
     if (!ok) {
-      std::lock_guard<std::mutex> lock(mutex);
+      util::MutexLock lock(mutex);
       if (--pending == 0) cv.notify_all();
     }
   }
-  std::unique_lock<std::mutex> lock(mutex);
-  cv.wait(lock, [&] { return pending == 0; });
+  util::MutexLock lock(mutex);
+  while (pending != 0) cv.wait(lock);
   return results;
 }
 

@@ -16,6 +16,7 @@ Rng request_rng(std::uint64_t sample_seed, vid_t vertex) {
 
 InferenceServer::InferenceServer(const Dataset& dataset, ServeConfig config)
     : dataset_(dataset),
+      num_vertices_(dataset.num_vertices()),
       config_(std::move(config)),
       queue_(config_.queue_capacity),
       cache_(config_.cache_bytes, static_cast<std::size_t>(dataset.feature_dim()),
@@ -51,7 +52,7 @@ void InferenceServer::publish(std::shared_ptr<const ModelSnapshot> snapshot) {
       throw std::invalid_argument("InferenceServer: embed_forward does not support RGCN");
   }
   if (config_.embed_forward && config_.embed_cache_bytes > 0) {
-    std::lock_guard<std::mutex> lock(embed_mutex_);
+    util::MutexLock lock(embed_mutex_);
     if (!embed_cache_) {
       // First publish fixes the cached row widths; later snapshots must keep
       // them (per-layer dims are part of the cache geometry). Entries per
@@ -89,7 +90,7 @@ void InferenceServer::stop() {
 
 bool InferenceServer::submit(vid_t vertex, const RequestMeta& meta,
                              std::function<void(InferResult&&)> done) {
-  if (vertex < 0 || vertex >= dataset_.num_vertices())
+  if (vertex < 0 || vertex >= num_vertices_)
     throw std::out_of_range("InferenceServer: vertex id out of range");
   const auto enqueue = ServeClock::now();
   InferRequest request;
@@ -171,7 +172,7 @@ void InferenceServer::drain() {
 }
 
 EmbedCache* InferenceServer::embed_cache_ptr() const {
-  std::lock_guard<std::mutex> lock(embed_mutex_);
+  util::MutexLock lock(embed_mutex_);
   return embed_cache_.get();
 }
 
@@ -181,7 +182,7 @@ void InferenceServer::apply_graph_update(const std::function<void()>& apply,
   // gate shared, so this waits them out, then mutates while later batches
   // park on the shared acquisition. Queued requests are not drained — the
   // window is the apply + invalidate below, nothing more.
-  std::unique_lock<std::shared_mutex> gate(graph_gate_);
+  util::WriterLock gate(graph_gate_);
   if (apply) apply();
   // Feature rows rewritten by the delta: evict their layer-0 cache entries
   // so the next gather refills from the updated store.
@@ -212,7 +213,7 @@ void InferenceServer::worker_loop() {
       // waits out in-service batches and parks new ones for the barrier
       // window; a batch popped just before the apply completes on the new
       // graph at the new epoch (reads see epoch e or e+1, never a mix).
-      std::shared_lock<std::shared_mutex> gate(graph_gate_);
+      util::ReaderLock gate(graph_gate_);
       process_batch_embed(std::move(batch), evaluator, seeds, logits);
     }
   }
@@ -222,7 +223,7 @@ void InferenceServer::worker_loop() {
   while (true) {
     std::vector<InferRequest> batch = queue_.pop_batch(config_.max_batch, config_.max_batch_delay);
     if (batch.empty()) return;  // closed and drained
-    std::shared_lock<std::shared_mutex> gate(graph_gate_);  // see embed loop
+    util::ReaderLock gate(graph_gate_);  // see embed loop
     process_batch(std::move(batch), scratch, minibatches, inputs, logits);
   }
 }

@@ -13,8 +13,6 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -29,6 +27,7 @@
 #include "serve/request_queue.hpp"
 #include "serve/tier_config.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace distgnn::serve {
 
@@ -130,6 +129,10 @@ class InferenceServer : public ServingBackend {
   EmbedCache* embed_cache_ptr() const;
 
   const Dataset& dataset_;
+  /// Immutable mirror of dataset_.num_vertices(): the streamed-update
+  /// contract fixes the vertex set at construction, and submit() must not
+  /// read through dataset_.graph while a barrier is move-assigning it.
+  const vid_t num_vertices_;
   ServeConfig config_;
   SnapshotHolder holder_;
   BoundedRequestQueue queue_;
@@ -137,13 +140,13 @@ class InferenceServer : public ServingBackend {
   /// Created lazily at first publish (the spec fixes its geometry); guarded
   /// by embed_mutex_ so concurrent publishers / stats readers never race the
   /// unique_ptr. The EmbedCache itself is internally thread-safe.
-  mutable std::mutex embed_mutex_;
-  std::unique_ptr<EmbedCache> embed_cache_;
+  mutable util::Mutex embed_mutex_;
+  std::unique_ptr<EmbedCache> embed_cache_ GUARDED_BY(embed_mutex_);
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
 
   /// Graph-update barrier: workers shared per batch, delta apply exclusive.
-  std::shared_mutex graph_gate_;
+  util::SharedMutex graph_gate_;
   std::atomic<std::uint64_t> graph_epoch_{0};
 
   /// Sharded wait-free telemetry: per-tenant submitted/completed/shed

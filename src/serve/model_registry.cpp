@@ -1,7 +1,6 @@
 #include "serve/model_registry.hpp"
 
 #include <chrono>
-#include <condition_variable>
 #include <stdexcept>
 #include <thread>
 
@@ -77,7 +76,7 @@ bool ModelRegistry::submit(tenant_t tenant, vid_t vertex,
   Entry& e = entry(tenant);
   e.submitted.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(e.admission_mutex);
+    util::MutexLock lock(e.admission_mutex);
     if (!e.bucket.try_take(ServeClock::now())) return false;  // budget shed
   }
   const bool ok = e.backend->submit(
@@ -93,13 +92,13 @@ bool ModelRegistry::submit(tenant_t tenant, vid_t vertex,
 }
 
 InferResult ModelRegistry::infer_sync(tenant_t tenant, vid_t vertex) {
-  std::mutex mutex;
-  std::condition_variable cv;
+  util::Mutex mutex;
+  util::CondVar cv;
   bool ready = false;
   InferResult out;
   for (;;) {
     const bool ok = submit(tenant, vertex, [&](InferResult&& result) {
-      std::lock_guard<std::mutex> lock(mutex);
+      util::MutexLock lock(mutex);
       out = std::move(result);
       ready = true;
       cv.notify_all();
@@ -111,8 +110,8 @@ InferResult ModelRegistry::infer_sync(tenant_t tenant, vid_t vertex) {
     // fail (the bucket refills continuously).
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
-  std::unique_lock<std::mutex> lock(mutex);
-  cv.wait(lock, [&] { return ready; });
+  util::MutexLock lock(mutex);
+  while (!ready) cv.wait(lock);
   return out;
 }
 
@@ -125,7 +124,7 @@ std::vector<std::optional<InferResult>> ModelRegistry::infer_batch(
   // under the backend's admission epoch.
   std::size_t affordable = 0;
   {
-    std::lock_guard<std::mutex> lock(e.admission_mutex);
+    util::MutexLock lock(e.admission_mutex);
     const auto now = ServeClock::now();
     while (affordable < n && e.bucket.try_take(now)) ++affordable;
   }
@@ -211,8 +210,8 @@ std::vector<LoadReport> run_registry_open_loop(ModelRegistry& registry,
     std::vector<double> offsets;
     std::vector<vid_t> targets;
     LatencyRecorder latencies;
-    std::mutex mutex;
-    std::condition_variable cv;
+    util::Mutex mutex;
+    util::CondVar cv;
     std::size_t accounted = 0;
     std::uint64_t rejected = 0;
     double duration = 0;
@@ -241,7 +240,7 @@ std::vector<LoadReport> run_registry_open_loop(ModelRegistry& registry,
       const TenantStream& stream = streams[si];
       StreamRun& run = *runs[si];
       const auto account = [&](bool was_rejected) {
-        std::lock_guard<std::mutex> lock(run.mutex);
+        util::MutexLock lock(run.mutex);
         if (was_rejected) ++run.rejected;
         ++run.accounted;
         if (run.accounted == stream.num_requests) run.cv.notify_all();
@@ -256,8 +255,8 @@ std::vector<LoadReport> run_registry_open_loop(ModelRegistry& registry,
         if (!accepted) account(true);
       }
       {
-        std::unique_lock<std::mutex> lock(run.mutex);
-        run.cv.wait(lock, [&] { return run.accounted == stream.num_requests; });
+        util::MutexLock lock(run.mutex);
+        while (run.accounted != stream.num_requests) run.cv.wait(lock);
       }
       run.duration = std::chrono::duration<double>(ServeClock::now() - begin).count();
     });

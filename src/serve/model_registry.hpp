@@ -33,7 +33,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -44,6 +43,7 @@
 #include "serve/inference_server.hpp"
 #include "serve/tenant.hpp"
 #include "serve/traffic_gen.hpp"
+#include "util/sync.hpp"
 
 namespace distgnn::obs {
 class HealthMonitor;
@@ -121,8 +121,8 @@ class ModelRegistry : public obs::ScrapeSource {
   struct Entry {
     TenantSlo slo;
     std::unique_ptr<ServingBackend> backend;
-    std::mutex admission_mutex;  // serializes the (unsynchronized) bucket
-    TokenBucket bucket;
+    util::Mutex admission_mutex;  // serializes the (unsynchronized) bucket
+    TokenBucket bucket GUARDED_BY(admission_mutex);
     std::atomic<std::uint64_t> submitted{0};
     std::atomic<std::uint64_t> admitted{0};
     std::atomic<std::uint64_t> completed{0};

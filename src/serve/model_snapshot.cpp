@@ -444,7 +444,7 @@ void SnapshotHolder::publish(std::shared_ptr<const ModelSnapshot> snapshot) {
   std::uint64_t version = 0;
   std::function<void(std::uint64_t)> hook;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (snapshot) version = snapshot->version();
     current_ = std::move(snapshot);
     ++publishes_;
@@ -456,17 +456,17 @@ void SnapshotHolder::publish(std::shared_ptr<const ModelSnapshot> snapshot) {
 }
 
 std::shared_ptr<const ModelSnapshot> SnapshotHolder::get() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return current_;
 }
 
 std::uint64_t SnapshotHolder::num_publishes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return publishes_;
 }
 
 void SnapshotHolder::set_on_publish(std::function<void(std::uint64_t)> hook) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   on_publish_ = std::move(hook);
 }
 

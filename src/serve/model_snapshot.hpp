@@ -16,13 +16,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "sampling/minibatch.hpp"
 #include "util/matrix.hpp"
+#include "util/sync.hpp"
 
 namespace distgnn::serve {
 
@@ -166,10 +166,10 @@ class SnapshotHolder {
   void set_on_publish(std::function<void(std::uint64_t version)> hook);
 
  private:
-  mutable std::mutex mutex_;
-  std::shared_ptr<const ModelSnapshot> current_;
-  std::uint64_t publishes_ = 0;
-  std::function<void(std::uint64_t)> on_publish_;
+  mutable util::Mutex mutex_;
+  std::shared_ptr<const ModelSnapshot> current_ GUARDED_BY(mutex_);
+  std::uint64_t publishes_ GUARDED_BY(mutex_) = 0;
+  std::function<void(std::uint64_t)> on_publish_ GUARDED_BY(mutex_);
 };
 
 }  // namespace distgnn::serve

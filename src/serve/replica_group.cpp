@@ -26,13 +26,13 @@ ReplicaGroup::~ReplicaGroup() { stop(); }
 
 void ReplicaGroup::publish_under_barrier(std::uint64_t version,
                                          const std::function<void()>& swap) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return !publishing_; });  // one publisher at a time
+  util::MutexLock lock(mutex_);
+  while (publishing_) cv_.wait(lock);  // one publisher at a time
   publishing_ = true;
   // Version barrier: drain every admitted request before the swap. Replica
   // queues are empty once outstanding_ hits zero, so after the swap every
   // replica serves the new version and nothing in flight straddles it.
-  cv_.wait(lock, [&] { return outstanding_ == 0; });
+  while (outstanding_ != 0) cv_.wait(lock);
   swap();
   version_ = version;
   ++publishes_;
@@ -68,10 +68,10 @@ void ReplicaGroup::apply_graph_update(const std::function<void()>& apply,
   // Reuse the publish barrier (one mutator at a time, admitted traffic
   // drained), but keep version_ untouched — graph epochs are orthogonal to
   // snapshot versions. Sequential delivery, replica 0 with the real apply.
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return !publishing_; });
+  util::MutexLock lock(mutex_);
+  while (publishing_) cv_.wait(lock);
   publishing_ = true;
-  cv_.wait(lock, [&] { return outstanding_ == 0; });
+  while (outstanding_ != 0) cv_.wait(lock);
   for (std::size_t r = 0; r < replicas_.size(); ++r)
     replicas_[r]->apply_graph_update(r == 0 ? apply : std::function<void()>{}, notice);
   publishing_ = false;
@@ -130,15 +130,15 @@ std::vector<std::optional<InferResult>> ReplicaGroup::infer_batch(
   // answers come from one snapshot version.
   begin_requests(n);
 
-  std::mutex mutex;
-  std::condition_variable cv;
+  util::Mutex mutex;
+  util::CondVar cv;
   std::size_t pending = n;
   for (std::size_t i = 0; i < n; ++i) {
     ServingBackend& target = replica(pick_round_robin());
     const bool ok =
         target.submit(vertices[i], meta, [&, i](InferResult&& result) {
           {
-            std::lock_guard<std::mutex> lock(mutex);
+            util::MutexLock lock(mutex);
             results[i] = std::move(result);
             if (--pending == 0) cv.notify_all();
           }
@@ -146,12 +146,12 @@ std::vector<std::optional<InferResult>> ReplicaGroup::infer_batch(
         });
     if (!ok) {
       end_request();
-      std::lock_guard<std::mutex> lock(mutex);
+      util::MutexLock lock(mutex);
       if (--pending == 0) cv.notify_all();
     }
   }
-  std::unique_lock<std::mutex> lock(mutex);
-  cv.wait(lock, [&] { return pending == 0; });
+  util::MutexLock lock(mutex);
+  while (pending != 0) cv.wait(lock);
   return results;
 }
 
@@ -194,12 +194,12 @@ int ReplicaGroup::concurrency() const {
 }
 
 std::uint64_t ReplicaGroup::version() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return version_;
 }
 
 std::uint64_t ReplicaGroup::publishes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return publishes_;
 }
 
@@ -220,13 +220,13 @@ void ReplicaGroup::collect_traces(std::vector<obs::Trace>& out) const {
 }
 
 void ReplicaGroup::begin_requests(std::size_t n) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return !publishing_; });
+  util::MutexLock lock(mutex_);
+  while (publishing_) cv_.wait(lock);
   outstanding_ += n;
 }
 
 void ReplicaGroup::end_request() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   --outstanding_;
   if (outstanding_ == 0) cv_.notify_all();
 }

@@ -25,17 +25,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "comm/world.hpp"
 #include "graph/datasets.hpp"
 #include "serve/backend.hpp"
 #include "serve/inference_server.hpp"
+#include "util/sync.hpp"
 
 namespace distgnn::serve {
 
@@ -123,7 +122,7 @@ class ReplicaGroup : public ServingBackend {
   /// monitor's barrier-stuck watchdog polls this: a wedged barrier parks
   /// inside the cv wait (mutex released), so the read never blocks on it.
   bool publishing() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return publishing_;
   }
 
@@ -145,12 +144,12 @@ class ReplicaGroup : public ServingBackend {
   const Dataset& dataset_;
   std::vector<std::unique_ptr<ServingBackend>> replicas_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::size_t outstanding_ = 0;  // admission slots handed out, not yet released
-  bool publishing_ = false;
-  std::uint64_t version_ = 0;
-  std::uint64_t publishes_ = 0;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  std::size_t outstanding_ GUARDED_BY(mutex_) = 0;  // admission slots handed out, not yet released
+  bool publishing_ GUARDED_BY(mutex_) = false;
+  std::uint64_t version_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t publishes_ GUARDED_BY(mutex_) = 0;
   std::atomic<std::uint64_t> rr_next_{0};
 };
 

@@ -11,14 +11,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "serve/tenant.hpp"
+#include "util/sync.hpp"
 #include "util/types.hpp"
 
 namespace distgnn::serve {
@@ -58,7 +57,7 @@ class BoundedRequestQueue {
   /// caller counts a rejection).
   bool try_push(InferRequest request) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (closed_ || queue_.size() >= capacity_) return false;
       queue_.push_back(std::move(request));
     }
@@ -69,8 +68,8 @@ class BoundedRequestQueue {
   /// Blocking admission; false only when the queue is closed.
   bool push(InferRequest request) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      not_full_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+      util::MutexLock lock(mutex_);
+      while (!closed_ && queue_.size() >= capacity_) not_full_.wait(lock);
       if (closed_) return false;
       queue_.push_back(std::move(request));
     }
@@ -83,8 +82,8 @@ class BoundedRequestQueue {
   /// first pop. An empty result means the queue is closed and drained.
   std::vector<InferRequest> pop_batch(int max_batch, std::chrono::microseconds max_delay) {
     std::vector<InferRequest> batch;
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    util::MutexLock lock(mutex_);
+    while (!closed_ && queue_.empty()) not_empty_.wait(lock);
     if (queue_.empty()) return batch;  // closed and drained
 
     const auto deadline = ServeClock::now() + max_delay;
@@ -93,9 +92,10 @@ class BoundedRequestQueue {
     while (static_cast<int>(batch.size()) < max_batch) {
       if (queue_.empty()) {
         if (closed_) break;
-        if (!not_empty_.wait_until(lock, deadline,
-                                   [&] { return closed_ || !queue_.empty(); }))
-          break;  // delay budget exhausted
+        while (!closed_ && queue_.empty()) {
+          if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout)
+            break;  // delay budget exhausted
+        }
         if (queue_.empty()) break;
       }
       batch.push_back(std::move(queue_.front()));
@@ -113,7 +113,7 @@ class BoundedRequestQueue {
   std::vector<InferRequest> try_pop_batch(int max_batch) {
     std::vector<InferRequest> batch;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       while (static_cast<int>(batch.size()) < max_batch && !queue_.empty()) {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
@@ -126,14 +126,14 @@ class BoundedRequestQueue {
   /// Reopens a closed queue for admission (server restart). Only valid once
   /// the previous consumers have drained and exited.
   void reopen() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     closed_ = false;
   }
 
   /// Wakes every waiter; pending requests are still drained by pop_batch.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -141,7 +141,7 @@ class BoundedRequestQueue {
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return queue_.size();
   }
 
@@ -149,18 +149,18 @@ class BoundedRequestQueue {
   /// consumer exit condition: a producer may still be mid-try_push while a
   /// stop flag is already visible, but never after close() returns.
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return closed_;
   }
 
   std::size_t capacity() const { return capacity_; }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_, not_full_;
-  std::deque<InferRequest> queue_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar not_empty_, not_full_;
+  std::deque<InferRequest> queue_ GUARDED_BY(mutex_);
+  std::size_t capacity_;  // immutable after construction
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace distgnn::serve

@@ -2,12 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace distgnn::serve {
 
@@ -39,11 +38,17 @@ Router::Router(ReplicaGroup& group, RoutePolicy policy, AdmissionConfig admissio
     outstanding_[static_cast<std::size_t>(r)].store(0, std::memory_order_relaxed);
     admitted_per_replica_[static_cast<std::size_t>(r)].store(0, std::memory_order_relaxed);
   }
-  for (const TenantSlo& slo : admission_.tenants) {
-    TenantLane lane;
-    lane.slo = slo;
-    lane.bucket = TokenBucket(slo.rate_limit, slo.burst);
-    lanes_.push_back(std::move(lane));
+  {
+    // Construction-time population still takes the lane lock: nothing can
+    // contend yet, and it keeps the guarded-member accesses provable.
+    util::MutexLock lock(stage_mutex_);
+    for (const TenantSlo& slo : admission_.tenants) {
+      TenantLane lane;
+      lane.slo = slo;
+      lane.bucket = TokenBucket(slo.rate_limit, slo.burst);
+      lanes_.push_back(std::move(lane));
+    }
+    num_lanes_ = lanes_.size();
   }
   window_ = admission_.dispatch_window != 0
                 ? admission_.dispatch_window
@@ -99,11 +104,11 @@ bool Router::submit(vid_t vertex, const RequestMeta& meta,
   // begin_requests would leak the slot and wedge every later publish().
   if (vertex < 0 || vertex >= group_.dataset().num_vertices())
     throw std::out_of_range("Router: vertex id out of range");
-  if (!lanes_.empty() &&
-      (meta.tenant < 0 || static_cast<std::size_t>(meta.tenant) >= lanes_.size()))
+  if (num_lanes_ != 0 &&
+      (meta.tenant < 0 || static_cast<std::size_t>(meta.tenant) >= num_lanes_))
     throw std::out_of_range("Router: unknown tenant id");
   group_.begin_requests(1);
-  if (lanes_.empty()) return route_one(vertex, meta, std::move(done));
+  if (num_lanes_ == 0) return route_one(vertex, meta, std::move(done));
   return admit_one(vertex, meta, std::move(done));
 }
 
@@ -181,54 +186,68 @@ bool Router::route_one(vid_t vertex, const RequestMeta& meta,
 
 bool Router::admit_one(vid_t vertex, RequestMeta meta, std::function<void(InferResult&&)> done) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock<std::mutex> lock(stage_mutex_);
-  TenantLane& lane = lanes_[static_cast<std::size_t>(meta.tenant)];
-  ++lane.submitted;
+  // The first shed reason that fires wins; the admission slot is released
+  // after the lock is dropped (end_request may wake a publish barrier, and
+  // the lock hierarchy forbids calling into the group while holding it).
+  std::atomic<std::uint64_t>* shed_reason = nullptr;
+  {
+    util::MutexLock lock(stage_mutex_);
+    TenantLane& lane = lanes_[static_cast<std::size_t>(meta.tenant)];
+    ++lane.submitted;
 
-  const auto shed = [&](std::atomic<std::uint64_t>& counter) {
-    counter.fetch_add(1, std::memory_order_relaxed);
-    ++lane.shed;
-    lock.unlock();
-    group_.end_request();
-    return false;
-  };
+    // Token-bucket budget first: an over-budget tenant sheds regardless of
+    // system load — that is what keeps its overload out of everyone's queues.
+    const auto now = ServeClock::now();
+    if (!lane.bucket.try_take(now)) shed_reason = &shed_budget_;
 
-  // Token-bucket budget first: an over-budget tenant sheds regardless of
-  // system load — that is what keeps its overload out of everyone's queues.
-  const auto now = ServeClock::now();
-  if (!lane.bucket.try_take(now)) return shed(shed_budget_);
+    // The tenant's SLO deadline applies when the caller did not set one.
+    if (!shed_reason && meta.deadline == ServeClock::time_point::max() &&
+        lane.slo.deadline_seconds > 0)
+      meta.deadline = now + std::chrono::duration_cast<ServeClock::duration>(
+                                std::chrono::duration<double>(lane.slo.deadline_seconds));
 
-  // The tenant's SLO deadline applies when the caller did not set one.
-  if (meta.deadline == ServeClock::time_point::max() && lane.slo.deadline_seconds > 0)
-    meta.deadline = now + std::chrono::duration_cast<ServeClock::duration>(
-                              std::chrono::duration<double>(lane.slo.deadline_seconds));
+    // Deadline admission against the whole tier: work ahead of us is
+    // everything staged or in flight, spread over the group's workers.
+    if (!shed_reason && admission_.shed_deadlines &&
+        meta.deadline != ServeClock::time_point::max()) {
+      if (meta.deadline <= now) {
+        shed_reason = &shed_deadline_;
+      } else {
+        const double mean_service = group_.mean_service_seconds();
+        if (mean_service > 0) {
+          const double depth = static_cast<double>(inflight_ + total_staged_);
+          const double workers = static_cast<double>(std::max(1, group_.concurrency()));
+          const double estimate =
+              mean_service * (depth / workers + 1.0) * admission_.estimate_margin;
+          if (now + std::chrono::duration_cast<ServeClock::duration>(
+                        std::chrono::duration<double>(estimate)) >
+              meta.deadline)
+            shed_reason = &shed_deadline_;
+        }
+      }
+    }
 
-  // Deadline admission against the whole tier: work ahead of us is
-  // everything staged or in flight, spread over the group's workers.
-  if (admission_.shed_deadlines && meta.deadline != ServeClock::time_point::max()) {
-    if (meta.deadline <= now) return shed(shed_deadline_);
-    const double mean_service = group_.mean_service_seconds();
-    if (mean_service > 0) {
-      const double depth = static_cast<double>(inflight_ + total_staged_);
-      const double workers = static_cast<double>(std::max(1, group_.concurrency()));
-      const double estimate =
-          mean_service * (depth / workers + 1.0) * admission_.estimate_margin;
-      if (now + std::chrono::duration_cast<ServeClock::duration>(
-                    std::chrono::duration<double>(estimate)) >
-          meta.deadline)
-        return shed(shed_deadline_);
+    if (!shed_reason && meta.priority == Priority::kLow &&
+        admission_.low_priority_depth > 0 &&
+        inflight_ + total_staged_ >= admission_.low_priority_depth)
+      shed_reason = &shed_priority_;
+
+    if (!shed_reason && lane.staged.size() >= lane.slo.stage_capacity)
+      shed_reason = &shed_queue_full_;
+
+    if (shed_reason) {
+      shed_reason->fetch_add(1, std::memory_order_relaxed);
+      ++lane.shed;
+    } else {
+      lane.staged.push_back(Staged{vertex, meta, std::move(done)});
+      ++total_staged_;
+      pump_locked();
     }
   }
-
-  if (meta.priority == Priority::kLow && admission_.low_priority_depth > 0 &&
-      inflight_ + total_staged_ >= admission_.low_priority_depth)
-    return shed(shed_priority_);
-
-  if (lane.staged.size() >= lane.slo.stage_capacity) return shed(shed_queue_full_);
-
-  lane.staged.push_back(Staged{vertex, meta, std::move(done)});
-  ++total_staged_;
-  pump_locked();
+  if (shed_reason) {
+    group_.end_request();
+    return false;
+  }
   return true;
 }
 
@@ -269,7 +288,7 @@ void Router::pump_locked() {
             completed_.fetch_add(1, std::memory_order_relaxed);
             if (*done_ptr) (*done_ptr)(std::move(result));
             group_.end_request();
-            std::lock_guard<std::mutex> relock(stage_mutex_);
+            util::MutexLock relock(stage_mutex_);
             ++lanes_[static_cast<std::size_t>(tenant)].completed;
             --inflight_;
             pump_locked();
@@ -319,8 +338,8 @@ std::vector<std::optional<InferResult>> Router::infer_batch(std::span<const vid_
   for (const vid_t v : vertices)
     if (v < 0 || v >= group_.dataset().num_vertices())
       throw std::out_of_range("Router: vertex id out of range");
-  if (!lanes_.empty() &&
-      (meta.tenant < 0 || static_cast<std::size_t>(meta.tenant) >= lanes_.size()))
+  if (num_lanes_ != 0 &&
+      (meta.tenant < 0 || static_cast<std::size_t>(meta.tenant) >= num_lanes_))
     throw std::out_of_range("Router: unknown tenant id");
 
   // Reserve the whole batch's admission slots atomically: a group publish
@@ -328,28 +347,28 @@ std::vector<std::optional<InferResult>> Router::infer_batch(std::span<const vid_
   // answers come from one snapshot version.
   group_.begin_requests(n);
 
-  std::mutex mutex;
-  std::condition_variable cv;
+  util::Mutex mutex;
+  util::CondVar cv;
   std::size_t pending = 0;
   for (std::size_t i = 0; i < n; ++i) {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      util::MutexLock lock(mutex);
       ++pending;
     }
     const auto on_done = [&, i](InferResult&& result) {
-      std::lock_guard<std::mutex> lock(mutex);
+      util::MutexLock lock(mutex);
       results[i] = std::move(result);
       if (--pending == 0) cv.notify_all();
     };
-    const bool ok = lanes_.empty() ? route_one(vertices[i], meta, on_done)
-                                   : admit_one(vertices[i], meta, on_done);
+    const bool ok = num_lanes_ == 0 ? route_one(vertices[i], meta, on_done)
+                                    : admit_one(vertices[i], meta, on_done);
     if (!ok) {
-      std::lock_guard<std::mutex> lock(mutex);
+      util::MutexLock lock(mutex);
       if (--pending == 0) cv.notify_all();
     }
   }
-  std::unique_lock<std::mutex> lock(mutex);
-  cv.wait(lock, [&] { return pending == 0; });
+  util::MutexLock lock(mutex);
+  while (pending != 0) cv.wait(lock);
   return results;
 }
 
@@ -396,7 +415,7 @@ RouterStats Router::stats() const {
     s.admitted_per_replica[static_cast<std::size_t>(r)] =
         admitted_per_replica_[static_cast<std::size_t>(r)].load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(stage_mutex_);
+    util::MutexLock lock(stage_mutex_);
     for (std::size_t t = 0; t < lanes_.size(); ++t) {
       TenantCounters lane;
       lane.tenant = static_cast<tenant_t>(t);
@@ -454,12 +473,12 @@ LoadReport run_router_open_loop(Router& router, const RouterLoadConfig& config) 
 
   const GroupStats before = group.stats();
   LatencyRecorder latencies;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  util::Mutex done_mutex;
+  util::CondVar done_cv;
   std::size_t accounted = 0;
   std::uint64_t shed = 0;
   const auto account = [&](bool was_shed) {
-    std::lock_guard<std::mutex> lock(done_mutex);
+    util::MutexLock lock(done_mutex);
     if (was_shed) ++shed;
     ++accounted;
     if (accounted == config.num_requests) done_cv.notify_all();
@@ -481,8 +500,8 @@ LoadReport run_router_open_loop(Router& router, const RouterLoadConfig& config) 
     if (!admitted) account(true);
   }
   {
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return accounted == config.num_requests; });
+    util::MutexLock lock(done_mutex);
+    while (accounted != config.num_requests) done_cv.wait(lock);
   }
   const double duration = std::chrono::duration<double>(ServeClock::now() - begin).count();
 

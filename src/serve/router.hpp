@@ -28,7 +28,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -38,6 +37,7 @@
 #include "serve/replica_group.hpp"
 #include "serve/tenant.hpp"
 #include "serve/traffic_gen.hpp"
+#include "util/sync.hpp"
 
 namespace distgnn::serve {
 
@@ -129,7 +129,7 @@ class Router : public obs::ScrapeSource {
   void collect_traces(std::vector<obs::Trace>& out) const override;
   RoutePolicy policy() const { return policy_; }
   ReplicaGroup& group() { return group_; }
-  bool tenant_mode() const { return !lanes_.empty(); }
+  bool tenant_mode() const { return num_lanes_ != 0; }
 
  private:
   /// A staged request waiting for its weighted-fair dispatch turn.
@@ -156,7 +156,7 @@ class Router : public obs::ScrapeSource {
   bool admit_one(vid_t vertex, RequestMeta meta, std::function<void(InferResult&&)> done);
   /// Dispatches staged requests while the window has room, picking the next
   /// tenant by smooth weighted round-robin. Caller holds stage_mutex_.
-  void pump_locked();
+  void pump_locked() REQUIRES(stage_mutex_);
   int pick_replica();
 
   ReplicaGroup& group_;
@@ -179,12 +179,14 @@ class Router : public obs::ScrapeSource {
   std::unique_ptr<std::atomic<std::uint64_t>[]> outstanding_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> admitted_per_replica_;
 
-  // Tenant mode (empty lanes_ = legacy single-tenant path).
-  mutable std::mutex stage_mutex_;
-  std::vector<TenantLane> lanes_;
-  std::size_t inflight_ = 0;      // dispatched to a replica, not yet completed
-  std::size_t total_staged_ = 0;  // waiting in some lane
-  std::size_t window_ = 0;
+  // Tenant mode (num_lanes_ == 0 = legacy single-tenant path; num_lanes_ is
+  // the immutable mirror of lanes_.size() for lock-free mode checks).
+  mutable util::Mutex stage_mutex_;
+  std::vector<TenantLane> lanes_ GUARDED_BY(stage_mutex_);
+  std::size_t num_lanes_ = 0;  // immutable after construction
+  std::size_t inflight_ GUARDED_BY(stage_mutex_) = 0;   // dispatched, not yet completed
+  std::size_t total_staged_ GUARDED_BY(stage_mutex_) = 0;  // waiting in some lane
+  std::size_t window_ = 0;  // immutable after construction
 };
 
 /// Open-loop arrival-driven load through a Router (the replicated analogue

@@ -19,13 +19,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
 #include "cachesim/lru_cache.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace distgnn::serve {
 
@@ -52,10 +52,15 @@ class ShardedLru {
     shards_.reserve(static_cast<std::size_t>(num_shards));
     for (int i = 0; i < num_shards; ++i) {
       auto shard = std::make_unique<Shard>();
-      shard->slots.resize(entries_per_shard_);
-      shard->free_list.reserve(entries_per_shard_);
-      for (std::uint64_t e = 0; e < entries_per_shard_; ++e)
-        shard->free_list.push_back(static_cast<int>(entries_per_shard_ - 1 - e));
+      // Construction-time population still takes the shard lock: nothing can
+      // contend yet, and it keeps the guarded-member accesses provable.
+      {
+        util::MutexLock lock(shard->mutex);
+        shard->slots.resize(entries_per_shard_);
+        shard->free_list.reserve(entries_per_shard_);
+        for (std::uint64_t e = 0; e < entries_per_shard_; ++e)
+          shard->free_list.push_back(static_cast<int>(entries_per_shard_ - 1 - e));
+      }
       shards_.push_back(std::move(shard));
     }
   }
@@ -67,7 +72,7 @@ class ShardedLru {
   template <typename Fill, typename Use>
   bool get_or_fill(int space, const K& key, Fill&& fill, Use&& use) {
     Shard& s = shard_for(key);
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     CacheStats& stats = stats_mut(s, space);
     ++stats.accesses;
     if (const int idx = find_and_touch(s, space, key); idx >= 0) {
@@ -89,7 +94,7 @@ class ShardedLru {
   template <typename Use>
   bool lookup(int space, const K& key, Use&& use) {
     Shard& s = shard_for(key);
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     CacheStats& stats = stats_mut(s, space);
     ++stats.accesses;
     const int idx = find_and_touch(s, space, key);
@@ -106,7 +111,7 @@ class ShardedLru {
   template <typename Fill>
   void insert(int space, const K& key, Fill&& fill) {
     Shard& s = shard_for(key);
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     stats_mut(s, space).bytes_read += charge_bytes_;
     if (index_for(s, space).count(key) > 0) return;  // raced fill: already resident
     fill_slot(s, space, key, fill);
@@ -115,7 +120,7 @@ class ShardedLru {
   /// Drops every entry (hot-swap invalidation) without resetting statistics.
   void invalidate() {
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      util::MutexLock lock(shard->mutex);
       while (shard->head >= 0) evict_slot(*shard, shard->head);
     }
   }
@@ -124,7 +129,7 @@ class ShardedLru {
   /// exactly that key). Returns true when an entry was resident and evicted.
   bool erase(int space, const K& key) {
     Shard& s = shard_for(key);
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     if (static_cast<std::size_t>(space) >= s.index.size()) return false;
     auto& index = s.index[static_cast<std::size_t>(space)];
     const auto it = index.find(key);
@@ -145,7 +150,7 @@ class ShardedLru {
     std::vector<int> resident;
     for (auto& shard : shards_) {
       Shard& s = *shard;
-      std::lock_guard<std::mutex> lock(s.mutex);
+      util::MutexLock lock(s.mutex);
       if (static_cast<std::size_t>(space) >= s.index.size()) continue;
       auto& index = s.index[static_cast<std::size_t>(space)];
       // Collect first: fn rewrites keys, which would invalidate a live
@@ -183,7 +188,7 @@ class ShardedLru {
     CacheStats out;
     if (space < 0) return out;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      util::MutexLock lock(shard->mutex);
       if (static_cast<std::size_t>(space) < shard->per_space.size())
         out += shard->per_space[static_cast<std::size_t>(space)];
     }
@@ -193,7 +198,7 @@ class ShardedLru {
   CacheStats combined_stats() const {
     CacheStats out;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      util::MutexLock lock(shard->mutex);
       for (const CacheStats& s : shard->per_space) out += s;
     }
     return out;
@@ -209,33 +214,33 @@ class ShardedLru {
   };
 
   struct Shard {
-    mutable std::mutex mutex;
-    std::vector<Slot> slots;
-    std::vector<int> free_list;
-    int head = -1;
-    int tail = -1;
+    mutable util::Mutex mutex;
+    std::vector<Slot> slots GUARDED_BY(mutex);
+    std::vector<int> free_list GUARDED_BY(mutex);
+    int head GUARDED_BY(mutex) = -1;
+    int tail GUARDED_BY(mutex) = -1;
     // One index per object space (spaces are small ordinals by convention).
-    std::vector<std::unordered_map<K, int, Hash>> index;
-    std::vector<CacheStats> per_space;
+    std::vector<std::unordered_map<K, int, Hash>> index GUARDED_BY(mutex);
+    std::vector<CacheStats> per_space GUARDED_BY(mutex);
   };
 
   Shard& shard_for(const K& key) {
     return *shards_[static_cast<std::size_t>(Hash{}(key) % shards_.size())];
   }
 
-  static CacheStats& stats_mut(Shard& s, int space) {
+  static CacheStats& stats_mut(Shard& s, int space) REQUIRES(s.mutex) {
     if (space < 0) throw std::out_of_range("ShardedLru: negative space id");
     if (static_cast<std::size_t>(space) >= s.per_space.size()) s.per_space.resize(space + 1);
     return s.per_space[static_cast<std::size_t>(space)];
   }
 
-  static std::unordered_map<K, int, Hash>& index_for(Shard& s, int space) {
+  static std::unordered_map<K, int, Hash>& index_for(Shard& s, int space) REQUIRES(s.mutex) {
     if (space < 0) throw std::out_of_range("ShardedLru: negative space id");
     if (static_cast<std::size_t>(space) >= s.index.size()) s.index.resize(space + 1);
     return s.index[static_cast<std::size_t>(space)];
   }
 
-  static void unlink(Shard& s, int idx) {
+  static void unlink(Shard& s, int idx) REQUIRES(s.mutex) {
     Slot& e = s.slots[static_cast<std::size_t>(idx)];
     if (e.prev >= 0) s.slots[static_cast<std::size_t>(e.prev)].next = e.next;
     else s.head = e.next;
@@ -244,7 +249,7 @@ class ShardedLru {
     e.prev = e.next = -1;
   }
 
-  static void push_front(Shard& s, int idx) {
+  static void push_front(Shard& s, int idx) REQUIRES(s.mutex) {
     Slot& e = s.slots[static_cast<std::size_t>(idx)];
     e.prev = -1;
     e.next = s.head;
@@ -253,7 +258,7 @@ class ShardedLru {
     if (s.tail < 0) s.tail = idx;
   }
 
-  static void evict_slot(Shard& s, int idx) {
+  static void evict_slot(Shard& s, int idx) REQUIRES(s.mutex) {
     Slot& e = s.slots[static_cast<std::size_t>(idx)];
     index_for(s, e.space).erase(e.key);
     unlink(s, idx);
@@ -261,7 +266,7 @@ class ShardedLru {
   }
 
   /// Finds `key` and makes it MRU; -1 on miss.
-  static int find_and_touch(Shard& s, int space, const K& key) {
+  static int find_and_touch(Shard& s, int space, const K& key) REQUIRES(s.mutex) {
     auto& index = index_for(s, space);
     const auto it = index.find(key);
     if (it == index.end()) return -1;
@@ -276,7 +281,7 @@ class ShardedLru {
   /// after the fill succeeds: a throwing fill returns the slot to the free
   /// list, so no key can ever resolve to a recycled victim's stale bytes.
   template <typename Fill>
-  static int fill_slot(Shard& s, int space, const K& key, const Fill& fill) {
+  static int fill_slot(Shard& s, int space, const K& key, const Fill& fill) REQUIRES(s.mutex) {
     if (s.free_list.empty()) evict_slot(s, s.tail);
     const int idx = s.free_list.back();
     s.free_list.pop_back();

@@ -34,6 +34,7 @@ std::vector<part_t> vertex_owners(const EdgeList& edges, const EdgePartition& pa
 ShardedServer::ShardedServer(const Dataset& dataset, const EdgePartition& partition,
                              ShardedServeConfig config)
     : dataset_(dataset),
+      num_vertices_(dataset.num_vertices()),
       config_(std::move(config)),
       num_parts_(partition.num_parts),
       world_(partition.num_parts) {
@@ -75,12 +76,15 @@ ShardedServer::ShardedServer(const Dataset& dataset, const EdgePartition& partit
                                                             config_.cache_shards));
     rank_states_.push_back(std::make_unique<RankState>());
   }
-  embed_caches_.resize(static_cast<std::size_t>(num_parts_));
+  {
+    util::MutexLock lock(embed_mutex_);
+    embed_caches_.resize(static_cast<std::size_t>(num_parts_));
+  }
 
   // Hot-swap hygiene for the per-rank layer-output caches (entries are
   // version-keyed, so this frees capacity rather than preventing staleness).
   holder_.set_on_publish([this](std::uint64_t) {
-    std::lock_guard<std::mutex> lock(embed_mutex_);
+    util::MutexLock lock(embed_mutex_);
     for (auto& cache : embed_caches_)
       if (cache) cache->invalidate();
   });
@@ -106,7 +110,7 @@ void ShardedServer::publish(std::shared_ptr<const ModelSnapshot> snapshot) {
       throw std::invalid_argument("ShardedServer: embed_forward does not support RGCN");
   }
   if (config_.embed_forward && config_.embed_cache_bytes > 0) {
-    std::lock_guard<std::mutex> lock(embed_mutex_);
+    util::MutexLock lock(embed_mutex_);
     if (!embed_caches_.front()) {
       // First publish fixes the cached row widths (as in InferenceServer);
       // capacity is split across ranks so the sharded tier's total embed
@@ -144,7 +148,7 @@ void ShardedServer::stop() {
 
 bool ShardedServer::submit(vid_t vertex, const RequestMeta& meta,
                            std::function<void(InferResult&&)> done) {
-  if (vertex < 0 || vertex >= dataset_.num_vertices())
+  if (vertex < 0 || vertex >= num_vertices_)
     throw std::out_of_range("ShardedServer: vertex id out of range");
   const auto enqueue = ServeClock::now();
   InferRequest request;
@@ -205,7 +209,7 @@ double ShardedServer::mean_service_seconds() const {
 }
 
 EmbedCache* ShardedServer::embed_cache_ptr(part_t rank) const {
-  std::lock_guard<std::mutex> lock(embed_mutex_);
+  util::MutexLock lock(embed_mutex_);
   return embed_caches_[static_cast<std::size_t>(rank)].get();
 }
 
@@ -215,7 +219,7 @@ BackendStats ShardedServer::stats() const {
     BackendStats child;
     {
       const RankState& state = *rank_states_[static_cast<std::size_t>(p)];
-      std::lock_guard<std::mutex> lock(state.mutex);
+      util::MutexLock lock(state.mutex);
       child = state.stats;
     }
     child.children.clear();
@@ -313,7 +317,7 @@ void ShardedServer::finish_requests(std::vector<InferRequest>& batch, const Dens
       std::chrono::duration_cast<std::chrono::nanoseconds>(ServeClock::now() - service_begin)
           .count());
   {
-    std::lock_guard<std::mutex> lock(state.mutex);
+    util::MutexLock lock(state.mutex);
     state.stats.completed += batch.size();
     state.stats.batches += 1;
     state.stats.batched_requests += batch.size();
@@ -334,8 +338,8 @@ void ShardedServer::apply_graph_update(const std::function<void()>& apply,
   const bool live = running_.load(std::memory_order_acquire);
   if (live) {
     pause_flag_.store(true, std::memory_order_release);
-    std::unique_lock<std::mutex> lock(pause_mutex_);
-    pause_cv_.wait(lock, [&] { return paused_ranks_ == num_parts_; });
+    util::MutexLock lock(pause_mutex_);
+    while (paused_ranks_ != num_parts_) pause_cv_.wait(lock);
   }
 
   if (apply) apply();
@@ -373,8 +377,8 @@ void ShardedServer::apply_graph_update(const std::function<void()>& apply,
 
   if (live) {
     pause_flag_.store(false, std::memory_order_release);
-    std::unique_lock<std::mutex> lock(pause_mutex_);
-    pause_cv_.wait(lock, [&] { return paused_ranks_ == 0; });
+    util::MutexLock lock(pause_mutex_);
+    while (paused_ranks_ != 0) pause_cv_.wait(lock);
   }
 }
 
@@ -400,14 +404,14 @@ void ShardedServer::run_classic_rank(Communicator& comm, part_t me) {
   std::uint64_t base_rows, base_bytes;
   double base_wait;
   {
-    std::lock_guard<std::mutex> lock(state.mutex);
+    util::MutexLock lock(state.mutex);
     base_rows = state.stats.halo_rows_fetched;
     base_bytes = state.stats.halo_bytes;
     base_wait = state.stats.halo_wait_seconds;
   }
   const auto flush_halo = [&] {
     const HaloFetchStats& fs = fetcher.stats();
-    std::lock_guard<std::mutex> lock(state.mutex);
+    util::MutexLock lock(state.mutex);
     state.stats.halo_rows_fetched = base_rows + fs.halo_rows_fetched;
     state.stats.halo_bytes = base_bytes + fs.halo_bytes;
     state.stats.halo_wait_seconds = base_wait + fs.wait_seconds;
@@ -465,7 +469,7 @@ void ShardedServer::run_classic_rank(Communicator& comm, part_t me) {
   // rank may be draining batches that need our rows. With every rank parked
   // no halo message is in flight, so the updater can mutate local_feats_.
   const auto park_for_update = [&] {
-    std::unique_lock<std::mutex> lock(pause_mutex_);
+    util::MutexLock lock(pause_mutex_);
     ++paused_ranks_;
     pause_cv_.notify_all();
     while (pause_flag_.load(std::memory_order_acquire)) {
@@ -544,7 +548,7 @@ void ShardedServer::run_embed_rank(Communicator& comm, part_t me) {
   // Embed ranks exchange no halo traffic, so the graph-update park is a
   // plain sleep (no peers to service while waiting).
   const auto park_for_update = [&] {
-    std::unique_lock<std::mutex> lock(pause_mutex_);
+    util::MutexLock lock(pause_mutex_);
     ++paused_ranks_;
     pause_cv_.notify_all();
     while (pause_flag_.load(std::memory_order_acquire)) {

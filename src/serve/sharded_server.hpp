@@ -36,11 +36,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <unordered_map>
@@ -58,6 +56,7 @@
 #include "serve/model_snapshot.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/tier_config.hpp"
+#include "util/sync.hpp"
 
 namespace distgnn::serve {
 
@@ -142,8 +141,8 @@ class ShardedServer : public ServingBackend {
 
  private:
   struct RankState {
-    mutable std::mutex mutex;
-    BackendStats stats;  // batch/halo counters only; caches read live
+    mutable util::Mutex mutex;
+    BackendStats stats GUARDED_BY(mutex);  // batch/halo counters only; caches read live
   };
 
   void rank_loop(Communicator& comm);
@@ -155,6 +154,10 @@ class ShardedServer : public ServingBackend {
   EmbedCache* embed_cache_ptr(part_t rank) const;
 
   const Dataset& dataset_;
+  /// Immutable mirror of dataset_.num_vertices(): the streamed-update
+  /// contract fixes the vertex set at construction, and submit() must not
+  /// read through dataset_.graph while a barrier is move-assigning it.
+  const vid_t num_vertices_;
   ShardedServeConfig config_;
   part_t num_parts_;
   std::vector<part_t> owner_;
@@ -165,8 +168,8 @@ class ShardedServer : public ServingBackend {
   std::thread driver_;  // runs world_.run(rank_loop) so start() returns
   std::vector<std::unique_ptr<BoundedRequestQueue>> queues_;
   std::vector<std::unique_ptr<ShardedFeatureCache>> caches_;
-  mutable std::mutex embed_mutex_;
-  std::vector<std::unique_ptr<EmbedCache>> embed_caches_;
+  mutable util::Mutex embed_mutex_;
+  std::vector<std::unique_ptr<EmbedCache>> embed_caches_ GUARDED_BY(embed_mutex_);
   std::vector<std::unique_ptr<RankState>> rank_states_;
   SnapshotHolder holder_;
 
@@ -184,9 +187,9 @@ class ShardedServer : public ServingBackend {
   /// Graph-update pause rendezvous (apply_graph_update): ranks park once
   /// their ring is drained; the updater waits for all P, mutates, reopens.
   std::atomic<bool> pause_flag_{false};
-  std::mutex pause_mutex_;
-  std::condition_variable pause_cv_;
-  int paused_ranks_ = 0;
+  util::Mutex pause_mutex_;
+  util::CondVar pause_cv_;
+  int paused_ranks_ GUARDED_BY(pause_mutex_) = 0;
   std::atomic<std::uint64_t> graph_epoch_{0};
 
   std::atomic<std::uint64_t> next_id_{0};

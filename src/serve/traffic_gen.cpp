@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <condition_variable>
 #include <map>
 #include <stdexcept>
 #include <thread>
@@ -14,17 +13,17 @@
 namespace distgnn::serve {
 
 void LatencyRecorder::record(double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   samples_.push_back(seconds);
 }
 
 std::size_t LatencyRecorder::count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return samples_.size();
 }
 
 double LatencyRecorder::quantile(double q) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (samples_.empty()) return 0.0;
   std::vector<double> sorted = samples_;
   const auto idx = static_cast<std::size_t>(
@@ -34,7 +33,7 @@ double LatencyRecorder::quantile(double q) const {
 }
 
 double LatencyRecorder::mean_seconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (samples_.empty()) return 0.0;
   double total = 0;
   for (const double s : samples_) total += s;
@@ -45,16 +44,16 @@ LatencyRecorder& LatencyRecorder::operator+=(const LatencyRecorder& other) {
   if (this == &other) return *this;
   std::vector<double> theirs;
   {
-    std::lock_guard<std::mutex> lock(other.mutex_);
+    util::MutexLock lock(other.mutex_);
     theirs = other.samples_;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   samples_.insert(samples_.end(), theirs.begin(), theirs.end());
   return *this;
 }
 
 std::vector<LatencyRecorder::Bucket> LatencyRecorder::histogram() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   // Shared log2 bucket geometry (obs::latency_bucket): bucket k covers
   // [1µs·2^(k-1), 1µs·2^k), so the pass is O(samples) regardless of how wide
   // the tail spreads — and the printed buckets can never drift from the
@@ -298,12 +297,12 @@ LoadReport TrafficGenerator::run_open_loop(const ArrivalConfig& arrivals,
 
   const ServerStats before = server_.stats();
   LatencyRecorder latencies;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  util::Mutex done_mutex;
+  util::CondVar done_cv;
   std::size_t accounted = 0;
   std::uint64_t rejected = 0;
   const auto account = [&](bool was_rejected) {
-    std::lock_guard<std::mutex> lock(done_mutex);
+    util::MutexLock lock(done_mutex);
     if (was_rejected) ++rejected;
     ++accounted;
     if (accounted == num_requests) done_cv.notify_all();
@@ -319,8 +318,8 @@ LoadReport TrafficGenerator::run_open_loop(const ArrivalConfig& arrivals,
     if (!accepted) account(true);
   }
   {
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return accounted == num_requests; });
+    util::MutexLock lock(done_mutex);
+    while (accounted != num_requests) done_cv.wait(lock);
   }
   const double duration = std::chrono::duration<double>(ServeClock::now() - begin).count();
 

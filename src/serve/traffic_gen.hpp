@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -17,6 +16,7 @@
 
 #include "serve/inference_server.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace distgnn::serve {
 
@@ -44,8 +44,8 @@ class LatencyRecorder {
   std::vector<Bucket> histogram() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<double> samples_;
+  mutable util::Mutex mutex_;
+  std::vector<double> samples_ GUARDED_BY(mutex_);
 };
 
 /// Zipf(s) popularity over [0, n): rank-r probability ∝ 1/r^s, with ranks

@@ -29,7 +29,11 @@ DeltaPublisher::DeltaPublisher(Dataset& dataset, serve::ServingBackend& backend,
 }
 
 std::uint64_t DeltaPublisher::publish(const GraphDelta& delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Serializes concurrent publishers only. The state mutex_ is taken for
+  // short field updates below, never across the barrier — a health scrape
+  // or epoch() probe must not block behind a graph swap (lock order:
+  // publish_mutex_ before mutex_, see ACQUIRED_BEFORE in the header).
+  util::MutexLock publish_lock(publish_mutex_);
   const auto prepare_begin = Clock::now();
 
   // Prepare everything outside the barrier: readers serve epoch e from the
@@ -54,7 +58,10 @@ std::uint64_t DeltaPublisher::publish(const GraphDelta& delta) {
   const std::shared_ptr<const serve::ModelSnapshot> snapshot = backend_.snapshot();
   const int num_layers = snapshot ? snapshot->spec().num_layers : 0;
   serve::GraphUpdateNotice notice;
-  notice.epoch = delta.epoch != 0 ? std::max(delta.epoch, epoch_ + 1) : epoch_ + 1;
+  {
+    util::MutexLock lock(mutex_);
+    notice.epoch = delta.epoch != 0 ? std::max(delta.epoch, epoch_ + 1) : epoch_ + 1;
+  }
   notice.full_flush = config_.full_flush;
   notice.dirty_layers = compute_dirty_sets(prepared, delta, num_layers);
   {
@@ -86,15 +93,18 @@ std::uint64_t DeltaPublisher::publish(const GraphDelta& delta) {
       notice);
   const auto barrier_end = Clock::now();
 
-  epoch_ = notice.epoch;
-  stats_.deltas_published += 1;
-  stats_.edges_inserted += applied.edges_inserted;
-  stats_.edges_deleted += applied.edges_deleted;
-  stats_.features_updated += delta.feature_updates.size();
-  for (const auto& layer : notice.dirty_layers)
-    stats_.dirty_entries += layer.size();
-  stats_.full_flush_equivalent += static_cast<std::uint64_t>(dataset_.num_vertices()) *
-                                  static_cast<std::uint64_t>(std::max(0, num_layers));
+  {
+    util::MutexLock lock(mutex_);
+    epoch_ = notice.epoch;
+    stats_.deltas_published += 1;
+    stats_.edges_inserted += applied.edges_inserted;
+    stats_.edges_deleted += applied.edges_deleted;
+    stats_.features_updated += delta.feature_updates.size();
+    for (const auto& layer : notice.dirty_layers)
+      stats_.dirty_entries += layer.size();
+    stats_.full_flush_equivalent += static_cast<std::uint64_t>(dataset_.num_vertices()) *
+                                    static_cast<std::uint64_t>(std::max(0, num_layers));
+  }
 
   stage_metrics_.observe_stage(obs::Stage::kRepartition, /*tenant=*/0,
                                seconds_between(prepare_begin, prepare_end));
@@ -108,7 +118,7 @@ std::uint64_t DeltaPublisher::publish(const GraphDelta& delta) {
   // in-barrier mutation as kApply, the rest of the barrier window —
   // rendezvous plus cache invalidation — as kInvalidate.
   obs::Trace trace;
-  trace.request_id = epoch_;
+  trace.request_id = notice.epoch;
   trace.tenant = obs::kStreamTrack;
   trace.begin_seconds = obs::TraceContext::seconds(prepare_begin);
   trace.end_seconds = obs::TraceContext::seconds(barrier_end);
@@ -119,16 +129,16 @@ std::uint64_t DeltaPublisher::publish(const GraphDelta& delta) {
   trace.spans[static_cast<std::size_t>(obs::Stage::kInvalidate)] =
       obs::make_span(apply_end, barrier_end);
   trace_sink_.publish(trace);
-  return epoch_;
+  return notice.epoch;
 }
 
 std::uint64_t DeltaPublisher::epoch() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return epoch_;
 }
 
 StreamStats DeltaPublisher::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -136,7 +146,7 @@ void DeltaPublisher::scrape(obs::MetricsSnapshot& out) const {
   metrics_.scrape(out);
   StreamStats s;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     s = stats_;
   }
   out.add_counter("distgnn_stream_deltas_total", {}, static_cast<double>(s.deltas_published));

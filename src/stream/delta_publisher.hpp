@@ -25,7 +25,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 
 #include "graph/datasets.hpp"
 #include "obs/metrics.hpp"
@@ -34,6 +33,7 @@
 #include "partition/libra.hpp"
 #include "serve/backend.hpp"
 #include "stream/graph_delta.hpp"
+#include "util/sync.hpp"
 
 namespace distgnn::obs {
 class HealthMonitor;
@@ -100,9 +100,12 @@ class DeltaPublisher : public obs::ScrapeSource {
   StreamConfig config_;
   EdgePartition* partition_;
 
-  mutable std::mutex mutex_;
-  std::uint64_t epoch_ = 0;
-  StreamStats stats_;
+  /// Serializes publish() calls end to end; held across the serving
+  /// barrier, so readers must never take it. Always acquired before mutex_.
+  util::Mutex publish_mutex_ ACQUIRED_BEFORE(mutex_);
+  mutable util::Mutex mutex_;
+  std::uint64_t epoch_ GUARDED_BY(mutex_) = 0;
+  StreamStats stats_ GUARDED_BY(mutex_);
 
   obs::MetricsRegistry metrics_;
   obs::StageMetrics stage_metrics_{metrics_, "stream"};

@@ -124,32 +124,32 @@ std::vector<std::vector<vid_t>> compute_dirty_sets(const Graph& post_graph,
 }
 
 void DeltaLog::insert_edge(vid_t src, vid_t dst, int rel) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   staging_.edge_inserts.push_back({src, dst, rel});
 }
 
 void DeltaLog::remove_edge(vid_t src, vid_t dst) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   staging_.edge_deletes.push_back({src, dst});
 }
 
 void DeltaLog::update_feature(vid_t vertex, std::vector<real_t> row) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   staging_.feature_updates.push_back({vertex, std::move(row)});
 }
 
 std::size_t DeltaLog::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return staging_.size();
 }
 
 std::uint64_t DeltaLog::sealed_epochs() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return sealed_;
 }
 
 GraphDelta DeltaLog::seal() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   GraphDelta delta = std::move(staging_);
   staging_ = GraphDelta{};
   delta.epoch = ++sealed_;

@@ -20,12 +20,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "graph/coo.hpp"
 #include "graph/datasets.hpp"
 #include "graph/graph.hpp"
+#include "util/sync.hpp"
 #include "util/types.hpp"
 
 namespace distgnn::stream {
@@ -110,9 +110,9 @@ class DeltaLog {
   GraphDelta seal();
 
  private:
-  mutable std::mutex mutex_;
-  GraphDelta staging_;
-  std::uint64_t sealed_ = 0;
+  mutable util::Mutex mutex_;
+  GraphDelta staging_ GUARDED_BY(mutex_);
+  std::uint64_t sealed_ GUARDED_BY(mutex_) = 0;
 };
 
 /// Synthetic write workload for tests and bench_stream: `num_deltas` deltas

@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+#include <mutex>  // std::once_flag only; locking goes through util::Mutex
+
+#include "util/sync.hpp"
 
 namespace distgnn {
 
@@ -12,7 +14,7 @@ namespace {
 
 std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
 std::once_flag g_env_once;
-std::mutex g_write_mutex;
+util::Mutex g_write_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -43,7 +45,7 @@ LogLevel log_threshold() {
 void set_log_threshold(LogLevel level) { g_threshold.store(level, std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& message) {
-  const std::lock_guard<std::mutex> lock(g_write_mutex);
+  util::MutexLock lock(g_write_mutex);
   std::fprintf(stderr, "[distgnn %-5s] %s\n", level_name(level), message.c_str());
 }
 

@@ -1,0 +1,146 @@
+// Annotated synchronization primitives — the only mutexes in the tree.
+//
+// util::Mutex / util::SharedMutex wrap the std primitives with clang
+// thread-safety capability annotations so that GUARDED_BY / REQUIRES
+// contracts on the classes using them are compiler-checked (see
+// thread_annotations.hpp for the conventions, and tools/lint_concurrency.py
+// for the lint that keeps raw std::mutex from reappearing outside this
+// file). The wrappers are zero-cost: every method is a forwarding inline,
+// and off-clang the annotations vanish entirely.
+//
+// Locking idiom:
+//   util::MutexLock lock(mutex_);          // scoped, relockable
+//   while (!ready_) cv_.wait(lock);        // predicate in the annotated scope
+//
+// MutexLock is deliberately relockable (unlock()/lock() members with
+// RELEASE/ACQUIRE annotations) because the rank-park loops drop the lock to
+// service peers mid-wait; the analysis tracks the capability through those
+// transitions.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace distgnn::util {
+
+/// std::mutex with a thread-safety capability. Prefer MutexLock over calling
+/// lock()/unlock() directly.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// The underlying std::mutex, for std::condition_variable interop only
+  /// (CondVar goes through this; nothing else should).
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// std::shared_mutex with a thread-safety capability: exclusive for writers,
+/// shared for readers.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  void lock_shared() ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { m_.unlock_shared(); }
+
+ private:
+  std::shared_mutex m_;
+};
+
+/// Scoped exclusive lock on a util::Mutex. Relockable: unlock()/lock() let a
+/// holder drop the capability mid-scope (park loops); the destructor
+/// releases only if currently held (std::unique_lock semantics).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() RELEASE() { lock_.unlock(); }
+  void lock() ACQUIRE() { lock_.lock(); }
+
+  /// For CondVar interop only.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Scoped exclusive (writer) lock on a util::SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~WriterLock() RELEASE() { mu_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared (reader) lock on a util::SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) { mu_.lock_shared(); }
+  ~ReaderLock() RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with util::Mutex via MutexLock. No predicate
+/// overloads on purpose: callers write explicit while-loops so guarded-field
+/// reads stay in the annotated scope (a predicate lambda would be analyzed
+/// as a separate, lock-free function and warn).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  /// Atomically releases `lock`, waits, reacquires. The capability is held
+  /// again when this returns, which is all the analysis needs to know.
+  void wait(MutexLock& lock) { cv_.wait(lock.native()); }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(MutexLock& lock, const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lock.native(), d);
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(MutexLock& lock,
+                            const std::chrono::time_point<Clock, Duration>& t) {
+    return cv_.wait_until(lock.native(), t);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace distgnn::util

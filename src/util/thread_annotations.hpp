@@ -1,0 +1,79 @@
+// Clang thread-safety-analysis attribute macros (abseil-style names).
+//
+// These annotate the locking contract of a class so that clang's
+// -Wthread-safety analysis can prove, at compile time, that every access to
+// a GUARDED_BY member happens with its capability held and that REQUIRES
+// contracts hold at every call site. Under any other compiler (gcc builds,
+// MSVC) every macro expands to nothing — the annotations are free.
+//
+// The repo-wide conventions (enforced by tools/lint_concurrency.py and the
+// thread-safety CI job; see README "Concurrency correctness"):
+//   * no raw std::mutex / std::shared_mutex outside src/util/sync.hpp —
+//     shared state uses util::Mutex / util::SharedMutex so it can carry
+//     these annotations;
+//   * every mutex-guarded member is annotated GUARDED_BY(mutex_);
+//   * private helpers that assume a held lock are annotated
+//     REQUIRES(mutex_) instead of re-locking;
+//   * condition-variable predicates are written as explicit while-loops in
+//     the locking scope (clang analyzes lambda bodies as separate
+//     functions, so a predicate lambda reading guarded fields would warn).
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off clang
+#endif
+
+#define CAPABILITY(x) DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define SCOPED_CAPABILITY DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define GUARDED_BY(x) DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define PT_GUARDED_BY(x) DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DISTGNN_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -21,6 +21,7 @@
 #include "serve/replica_group.hpp"
 #include "serve/router.hpp"
 #include "serve/sharded_server.hpp"
+#include "util/sync.hpp"
 
 namespace distgnn {
 namespace {
@@ -339,7 +340,7 @@ class FakeBackend : public ServingBackend {
   void stop() override {
     if (!running_) return;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       stopped_ = true;
       paused_ = false;  // stop drains whatever is queued
     }
@@ -352,7 +353,7 @@ class FakeBackend : public ServingBackend {
   /// the deterministic "overloaded member" for routing-policy tests.
   void set_paused(bool paused) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       paused_ = paused;
     }
     cv_.notify_all();
@@ -362,7 +363,7 @@ class FakeBackend : public ServingBackend {
   bool submit(vid_t vertex, const RequestMeta&,
               std::function<void(InferResult&&)> done) override {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (stopped_) return false;
       queue_.push_back({vertex, std::move(done)});
     }
@@ -372,7 +373,7 @@ class FakeBackend : public ServingBackend {
   }
 
   std::size_t queue_depth() const override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return queue_.size();
   }
   void drain() override {
@@ -400,8 +401,8 @@ class FakeBackend : public ServingBackend {
     while (true) {
       Pending next;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [&] { return stopped_ || (!paused_ && !queue_.empty()); });
+        util::MutexLock lock(mutex_);
+        while (!stopped_ && (paused_ || queue_.empty())) cv_.wait(lock);
         if (queue_.empty() && stopped_) return;  // stopped and drained
         if (queue_.empty()) continue;
         next = std::move(queue_.front());
@@ -419,11 +420,11 @@ class FakeBackend : public ServingBackend {
   const Dataset& dataset_;
   std::chrono::microseconds service_;
   std::shared_ptr<const ModelSnapshot> snapshot_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Pending> queue_;
-  bool stopped_ = false;
-  bool paused_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  std::deque<Pending> queue_ GUARDED_BY(mutex_);
+  bool stopped_ GUARDED_BY(mutex_) = false;
+  bool paused_ GUARDED_BY(mutex_) = false;
   bool running_ = false;
   std::thread worker_;
   std::atomic<std::uint64_t> admitted_{0};

@@ -1,0 +1,13 @@
+// Fixture: the re-entrancy hazard the rule exists for — a user callback
+// fired while the monitor's guard is still live.
+#include "util/sync.hpp"
+namespace distgnn::obs {
+struct Monitor {
+  util::Mutex mutex_;
+  void (*callback)(int) = nullptr;
+  void tick() {
+    util::MutexLock lock(mutex_);
+    if (callback) callback(42);  // finding: invoked inside the guard scope
+  }
+};
+}  // namespace distgnn::obs

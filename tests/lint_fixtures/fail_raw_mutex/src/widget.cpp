@@ -1,0 +1,7 @@
+#include <mutex>
+namespace distgnn {
+struct Widget {
+  std::mutex mutex_;  // finding: raw primitive outside util/sync.hpp
+  int value_ = 0;
+};
+}  // namespace distgnn

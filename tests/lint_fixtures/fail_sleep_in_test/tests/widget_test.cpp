@@ -1,0 +1,5 @@
+#include <chrono>
+#include <thread>
+TEST(Widget, Waits) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // finding
+}

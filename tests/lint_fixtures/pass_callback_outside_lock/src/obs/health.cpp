@@ -1,0 +1,17 @@
+// Fixture: the sanctioned shape — copy the callback under the lock, invoke
+// it after the guard's scope closes.
+#include "util/sync.hpp"
+namespace distgnn::obs {
+struct Monitor {
+  util::Mutex mutex_;
+  void (*callback)(int) = nullptr;
+  void tick() {
+    void (*cb)(int) = nullptr;
+    {
+      util::MutexLock lock(mutex_);
+      cb = callback;
+    }
+    if (cb) cb(42);  // ok: guard scope already closed
+  }
+};
+}  // namespace distgnn::obs

@@ -1,0 +1,8 @@
+// Fixture: the one file allowed to name the raw std primitives.
+#pragma once
+#include <mutex>
+namespace distgnn::util {
+class Mutex {
+  std::mutex m_;  // allowlisted: this is src/util/sync.hpp
+};
+}  // namespace distgnn::util

@@ -1,0 +1,10 @@
+// Fixture: idiomatic guarded state. Mentions of std::mutex in comments or
+// "std::mutex in strings" must not trip the lexer-based rules.
+#include "util/sync.hpp"
+namespace distgnn {
+struct Widget {
+  util::Mutex mutex_;
+  int value_ = 0;  // GUARDED_BY(mutex_)
+};
+const char* kDoc = "never write std::mutex outside util/sync.hpp";
+}  // namespace distgnn

@@ -1,0 +1,6 @@
+// Fixture: serve_test.cpp is on the audited sleep allowlist (bounded polls).
+#include <chrono>
+#include <thread>
+TEST(Serve, Polls) {
+  std::this_thread::sleep_for(std::chrono::microseconds(50));  // allowlisted
+}

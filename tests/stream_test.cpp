@@ -71,10 +71,13 @@ Dataset rebuild_final(const Dataset& base, const std::vector<GraphDelta>& deltas
 class BackgroundReaders {
  public:
   BackgroundReaders(ServingBackend& backend, int num_threads) {
+    // Snapshot the (construction-fixed) vertex count on this thread, before
+    // any delta publish can be mid-swap: reading dataset().num_vertices()
+    // from the reader threads would race the barrier's graph move-assign.
+    const auto n = static_cast<std::uint64_t>(backend.dataset().num_vertices());
     for (int t = 0; t < num_threads; ++t)
-      threads_.emplace_back([this, &backend, t] {
+      threads_.emplace_back([this, &backend, t, n] {
         Rng rng(0xbead + static_cast<std::uint64_t>(t));
-        const auto n = static_cast<std::uint64_t>(backend.dataset().num_vertices());
         while (!stop_.load(std::memory_order_acquire)) {
           (void)backend.infer_sync(static_cast<vid_t>(rng.next_below(n)));
           served_.fetch_add(1, std::memory_order_relaxed);

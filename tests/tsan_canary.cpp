@@ -1,0 +1,38 @@
+// Deliberately racy program that validates the ThreadSanitizer toolchain.
+//
+// CI's tsan job runs this binary and *fails the build if TSan stays quiet*:
+// a race-clean run of the real test suite only means something if the same
+// toolchain provably reports a textbook data race. Two threads increment a
+// plain int with no synchronization — the canonical TSan demo — and a pair
+// of unsynchronized writes to a shared vector slot for good measure.
+//
+// This file is compiled but intentionally NOT registered with ctest (the
+// test glob only matches *_test.cpp); running it outside a TSan build is
+// merely a pointless, possibly-lossy counter increment.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+namespace {
+
+int g_unguarded_counter = 0;  // racy on purpose: no atomic, no mutex
+
+void hammer(int rounds, std::vector<int>& shared) {
+  for (int i = 0; i < rounds; ++i) {
+    ++g_unguarded_counter;  // racy read-modify-write
+    shared[0] = i;          // racy write-write
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::vector<int> shared(1, 0);
+  std::thread a(hammer, 100000, std::ref(shared));
+  std::thread b(hammer, 100000, std::ref(shared));
+  a.join();
+  b.join();
+  std::printf("canary done: counter=%d slot=%d\n", g_unguarded_counter, shared[0]);
+  return 0;
+}

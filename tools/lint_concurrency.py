@@ -1,0 +1,305 @@
+#!/usr/bin/env python3
+"""Repo-invariant concurrency lint (see README "Concurrency correctness").
+
+Pure-Python (stdlib only, no libclang) so it runs anywhere the repo builds.
+Four rules, each with an explicit allowlist kept in this file so a reviewer
+can see every exemption in one place:
+
+  raw-primitive   No raw std::mutex / std::shared_mutex / std::condition_variable
+                  / std::lock_guard / std::unique_lock / std::scoped_lock /
+                  std::shared_lock anywhere outside src/util/sync.hpp. Shared
+                  state goes through util::Mutex & friends so the clang
+                  thread-safety annotations apply (GUARDED_BY is meaningless
+                  on a std::mutex member nobody annotates).
+
+  relaxed-order   std::memory_order_relaxed only in files audited for it.
+                  Relaxed atomics are fine for monotonic stats counters but
+                  are exactly how "benign" races creep in; new call sites must
+                  be reviewed and the file added to the allowlist on purpose.
+
+  callback-under-lock
+                  In the publication/health files that invoke user-registered
+                  callbacks, no callback call may happen while a lock guard is
+                  live in an enclosing scope. A hook that fires under the
+                  holder's mutex deadlocks the first caller that re-enters the
+                  holder (the SnapshotHolder publish hook and the health
+                  monitor's on_event callbacks both copy-then-invoke outside
+                  the lock for this reason).
+
+  sleep-in-test   No std::this_thread::sleep_for in tests outside the audited
+                  allowlist. Sleeping tests either flake (sleep too short) or
+                  crawl (sleep too long); the allowlisted files use bounded
+                  polling loops that were reviewed individually.
+
+Exit status: 0 clean, 1 findings, 2 usage error. Each finding prints
+`path:line: [rule] message` so editors and CI annotate it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# --------------------------------------------------------------------------- config
+
+CXX_EXTENSIONS = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+
+# Directories scanned relative to the repo root.
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+
+# Subtrees never scanned: the lint's own pass/fail corpus lives here, and its
+# fail_* fixtures contain violations on purpose.
+SKIP_DIRS = ("tests/lint_fixtures",)
+
+# raw-primitive: the only file allowed to name the std primitives. (The
+# <mutex> *header* is still allowed everywhere — std::once_flag lives there.)
+RAW_PRIMITIVE_ALLOWLIST = {
+    "src/util/sync.hpp",
+}
+RAW_PRIMITIVE_RE = re.compile(
+    r"std\s*::\s*(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+
+# relaxed-order: files audited for relaxed atomics (monotonic counters only).
+RELAXED_ORDER_ALLOWLIST = {
+    "src/obs/metrics.cpp",
+    "src/obs/metrics.hpp",
+    "src/obs/trace.cpp",
+    "src/serve/inference_server.cpp",
+    "src/serve/model_registry.cpp",
+    "src/serve/replica_group.cpp",
+    "src/serve/router.cpp",
+    "src/serve/sharded_server.cpp",
+    "src/util/log.cpp",
+    # Test-side monotonic tallies (hit/served counters folded after join).
+    "tests/embed_cache_test.cpp",
+    "tests/stream_test.cpp",
+}
+RELAXED_ORDER_RE = re.compile(r"std\s*::\s*memory_order_relaxed\b")
+
+# callback-under-lock: files that own user-registered callbacks, and the
+# identifiers that invoke one. Guard declarations are matched structurally
+# (util::MutexLock / WriterLock / ReaderLock); a callback call inside the
+# guard's brace scope is a finding.
+CALLBACK_FILES = {
+    "src/obs/health.cpp": (r"callback", r"callbacks_\s*\[[^\]]*\]", r"on_event_"),
+    "src/serve/model_snapshot.cpp": (r"hook", r"on_publish_"),
+    "src/stream/delta_publisher.cpp": (r"hook", r"on_publish_", r"callback"),
+}
+GUARD_DECL_RE = re.compile(r"\butil\s*::\s*(?:MutexLock|WriterLock|ReaderLock)\s+(\w+)\s*[({]")
+
+# sleep-in-test: tests audited to use sleeps only inside bounded polling
+# loops (or to pace open-loop arrival schedules, which is the workload).
+SLEEP_TEST_ALLOWLIST = {
+    "tests/composed_test.cpp",
+    "tests/embed_cache_test.cpp",
+    "tests/serve_test.cpp",
+    "tests/stream_test.cpp",
+}
+SLEEP_RE = re.compile(r"\bsleep_for\s*\(")
+
+# --------------------------------------------------------------------------- lexing
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments, string literals and char literals, preserving
+    newlines (and therefore line numbers) and brace structure."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+            out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+# --------------------------------------------------------------------------- rules
+
+
+def check_raw_primitive(rel: str, code: str, findings: list[str]) -> None:
+    if rel in RAW_PRIMITIVE_ALLOWLIST:
+        return
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        if RAW_PRIMITIVE_RE.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [raw-primitive] raw std synchronization primitive; "
+                f"use util::Mutex / util::CondVar from src/util/sync.hpp so the "
+                f"thread-safety annotations apply"
+            )
+
+
+def check_relaxed_order(rel: str, code: str, findings: list[str]) -> None:
+    if rel in RELAXED_ORDER_ALLOWLIST:
+        return
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        if RELAXED_ORDER_RE.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [relaxed-order] memory_order_relaxed outside the "
+                f"audited allowlist; review the ordering argument and add the file "
+                f"to RELAXED_ORDER_ALLOWLIST in tools/lint_concurrency.py"
+            )
+
+
+def check_callback_under_lock(rel: str, code: str, findings: list[str]) -> None:
+    patterns = CALLBACK_FILES.get(rel)
+    if not patterns:
+        return
+    call_re = re.compile(r"\b(?:" + "|".join(patterns) + r")\s*\(")
+    # Track brace depth; remember the depth at which each live guard was
+    # declared. A guard dies when depth drops below its declaration depth.
+    depth = 0
+    guard_depths: list[int] = []
+    lambda_depths: list[int] = []  # lambda bodies defer execution: not a call site
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        if GUARD_DECL_RE.search(line):
+            guard_depths.append(depth)
+        # A lambda introduced on this line defers everything inside its body.
+        lambda_opens = len(re.findall(r"\[[^\[\]]*\]\s*(?:\([^()]*\))?\s*(?:mutable\s*)?\{", line))
+        for _ in range(lambda_opens):
+            lambda_depths.append(depth)
+        if guard_depths and not lambda_depths and call_re.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [callback-under-lock] callback invoked while a lock "
+                f"guard is live; copy the callback under the lock and invoke it "
+                f"after the guard's scope closes"
+            )
+        for ch in line:
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                while guard_depths and depth <= guard_depths[-1]:
+                    guard_depths.pop()
+                while lambda_depths and depth <= lambda_depths[-1]:
+                    lambda_depths.pop()
+
+
+def check_sleep_in_test(rel: str, code: str, findings: list[str]) -> None:
+    if not rel.startswith("tests/") or rel in SLEEP_TEST_ALLOWLIST:
+        return
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        if SLEEP_RE.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [sleep-in-test] sleep_for in a test outside the "
+                f"audited allowlist; prefer condition variables or bounded polling, "
+                f"and if the sleep is genuinely needed add the file to "
+                f"SLEEP_TEST_ALLOWLIST in tools/lint_concurrency.py"
+            )
+
+
+# --------------------------------------------------------------------------- driver
+
+
+def lint_file(root: Path, path: Path) -> list[str]:
+    rel = path.relative_to(root).as_posix()
+    code = strip_comments_and_strings(path.read_text(encoding="utf-8", errors="replace"))
+    findings: list[str] = []
+    check_raw_primitive(rel, code, findings)
+    check_relaxed_order(rel, code, findings)
+    check_callback_under_lock(rel, code, findings)
+    check_sleep_in_test(rel, code, findings)
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repo root to lint (default: the checkout containing this script)",
+    )
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"lint_concurrency: not a directory: {root}", file=sys.stderr)
+        return 2
+
+    files: list[Path] = []
+    for sub in SCAN_DIRS:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        files.extend(
+            p
+            for p in sorted(base.rglob("*"))
+            if p.is_file()
+            and p.suffix in CXX_EXTENSIONS
+            and not any(
+                p.relative_to(root).as_posix().startswith(skip + "/") for skip in SKIP_DIRS
+            )
+        )
+    if not files:
+        print(f"lint_concurrency: no C++ sources under {root}", file=sys.stderr)
+        return 2
+
+    findings: list[str] = []
+    for path in files:
+        findings.extend(lint_file(root, path))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint_concurrency: {len(findings)} finding(s) in {len(files)} file(s)")
+        return 1
+    print(f"lint_concurrency: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
